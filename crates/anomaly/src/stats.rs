@@ -1,0 +1,566 @@
+//! Campaign-level statistics (§4.1.2, §4.2.2, §4.3.2): accumulate
+//! anomalies across rounds and tools, then difference classic against
+//! Paris to attribute causes the way the paper does.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+use pt_core::{MeasuredRoute, StrategyId};
+
+use crate::cycle::{find_cycles, CycleCause};
+use crate::diamond::DestinationGraph;
+use crate::r#loop::{find_loops, LoopCause};
+
+/// A loop or cycle signature: `(looping address, destination)` — §4's
+/// definition. Diamonds use `(destination, head, tail)` internally.
+pub type Signature = (Ipv4Addr, Ipv4Addr);
+
+/// The paper's final attribution of a classic-traceroute loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FinalLoopCause {
+    /// Signature vanished under Paris: per-flow load balancing (87%).
+    PerFlowLoadBalancing,
+    /// Probe-TTL 0→1 signature (6.9%).
+    ZeroTtlForwarding,
+    /// `!H`/`!N` follow-up (1.2%).
+    Unreachability,
+    /// NAT/gateway source rewriting (2.8%).
+    AddressRewriting,
+    /// The residue, suspected per-packet load balancing (2.5%).
+    PerPacketSuspected,
+}
+
+/// The paper's final attribution of a classic-traceroute cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FinalCycleCause {
+    /// Signature vanished under Paris (78%).
+    PerFlowLoadBalancing,
+    /// Genuine routing convergence loop (20%).
+    ForwardingLoop,
+    /// Unreachability message from an already-seen router (1.2%).
+    Unreachability,
+    /// Fake addresses / per-packet load balancing residue (1.1%).
+    Other,
+}
+
+/// Accumulates one tool's observations across a whole campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignAccumulator {
+    /// Which tool produced these routes.
+    pub tool: StrategyId,
+    rounds_seen: BTreeSet<usize>,
+    routes_total: u64,
+    routes_with_loop: u64,
+    routes_with_cycle: u64,
+    dests: HashSet<Ipv4Addr>,
+    dests_with_loop: HashSet<Ipv4Addr>,
+    dests_with_cycle: HashSet<Ipv4Addr>,
+    addrs_seen: HashSet<Ipv4Addr>,
+    addrs_in_loop: HashSet<Ipv4Addr>,
+    addrs_in_cycle: HashSet<Ipv4Addr>,
+    loop_sig_rounds: HashMap<Signature, BTreeSet<usize>>,
+    cycle_sig_rounds: HashMap<Signature, BTreeSet<usize>>,
+    loop_instances: HashMap<(Signature, LoopCause), u64>,
+    cycle_instances: HashMap<(Signature, CycleCause), u64>,
+    graphs: HashMap<Ipv4Addr, DestinationGraph>,
+    probes_sent: u64,
+    responses: u64,
+    stars: u64,
+    mid_route_stars: u64,
+    reached: u64,
+}
+
+impl CampaignAccumulator {
+    /// Fresh accumulator for one tool.
+    pub fn new(tool: StrategyId) -> Self {
+        CampaignAccumulator {
+            tool,
+            rounds_seen: BTreeSet::new(),
+            routes_total: 0,
+            routes_with_loop: 0,
+            routes_with_cycle: 0,
+            dests: HashSet::new(),
+            dests_with_loop: HashSet::new(),
+            dests_with_cycle: HashSet::new(),
+            addrs_seen: HashSet::new(),
+            addrs_in_loop: HashSet::new(),
+            addrs_in_cycle: HashSet::new(),
+            loop_sig_rounds: HashMap::new(),
+            cycle_sig_rounds: HashMap::new(),
+            loop_instances: HashMap::new(),
+            cycle_instances: HashMap::new(),
+            graphs: HashMap::new(),
+            probes_sent: 0,
+            responses: 0,
+            stars: 0,
+            mid_route_stars: 0,
+            reached: 0,
+        }
+    }
+
+    /// Fold in one measured route observed during `round`.
+    pub fn ingest(&mut self, round: usize, route: &MeasuredRoute) {
+        self.rounds_seen.insert(round);
+        self.routes_total += 1;
+        let d = route.destination;
+        self.dests.insert(d);
+        for hop in &route.hops {
+            for a in hop.addrs() {
+                self.addrs_seen.insert(a);
+            }
+        }
+        self.probes_sent += route.probes_sent() as u64;
+        self.stars += route.stars() as u64;
+        self.mid_route_stars += route.mid_route_stars() as u64;
+        self.responses += (route.probes_sent() - route.stars()) as u64;
+        if route.reached_destination() {
+            self.reached += 1;
+        }
+
+        let loops = find_loops(route);
+        if !loops.is_empty() {
+            self.routes_with_loop += 1;
+            self.dests_with_loop.insert(d);
+        }
+        for l in loops {
+            self.addrs_in_loop.insert(l.addr);
+            let sig = (l.addr, d);
+            self.loop_sig_rounds.entry(sig).or_default().insert(round);
+            *self.loop_instances.entry((sig, l.cause)).or_insert(0) += 1;
+        }
+
+        let cycles = find_cycles(route);
+        if !cycles.is_empty() {
+            self.routes_with_cycle += 1;
+            self.dests_with_cycle.insert(d);
+        }
+        for c in cycles {
+            self.addrs_in_cycle.insert(c.addr);
+            let sig = (c.addr, d);
+            self.cycle_sig_rounds.entry(sig).or_default().insert(round);
+            *self.cycle_instances.entry((sig, c.cause)).or_insert(0) += 1;
+        }
+
+        self.graphs.entry(d).or_default().ingest(route);
+    }
+
+    /// Merge another accumulator (e.g. from a parallel shard) into this
+    /// one. Tool ids must match.
+    ///
+    /// # Panics
+    /// Panics when merging accumulators of different tools.
+    pub fn merge(&mut self, other: CampaignAccumulator) {
+        assert_eq!(self.tool, other.tool, "cannot merge different tools");
+        self.rounds_seen.extend(other.rounds_seen);
+        self.routes_total += other.routes_total;
+        self.routes_with_loop += other.routes_with_loop;
+        self.routes_with_cycle += other.routes_with_cycle;
+        self.dests.extend(other.dests);
+        self.dests_with_loop.extend(other.dests_with_loop);
+        self.dests_with_cycle.extend(other.dests_with_cycle);
+        self.addrs_seen.extend(other.addrs_seen);
+        self.addrs_in_loop.extend(other.addrs_in_loop);
+        self.addrs_in_cycle.extend(other.addrs_in_cycle);
+        for (sig, rounds) in other.loop_sig_rounds {
+            self.loop_sig_rounds.entry(sig).or_default().extend(rounds);
+        }
+        for (sig, rounds) in other.cycle_sig_rounds {
+            self.cycle_sig_rounds.entry(sig).or_default().extend(rounds);
+        }
+        for (k, n) in other.loop_instances {
+            *self.loop_instances.entry(k).or_insert(0) += n;
+        }
+        for (k, n) in other.cycle_instances {
+            *self.cycle_instances.entry(k).or_insert(0) += n;
+        }
+        for (d, g) in other.graphs {
+            self.graphs.entry(d).or_default().absorb(g);
+        }
+        self.probes_sent += other.probes_sent;
+        self.responses += other.responses;
+        self.stars += other.stars;
+        self.mid_route_stars += other.mid_route_stars;
+        self.reached += other.reached;
+    }
+
+    /// Every responding address discovered across the campaign.
+    pub fn addresses_seen(&self) -> impl Iterator<Item = &Ipv4Addr> {
+        self.addrs_seen.iter()
+    }
+
+    /// Loop signatures observed (for differencing).
+    pub fn loop_signatures(&self) -> HashSet<Signature> {
+        self.loop_sig_rounds.keys().copied().collect()
+    }
+
+    /// Cycle signatures observed.
+    pub fn cycle_signatures(&self) -> HashSet<Signature> {
+        self.cycle_sig_rounds.keys().copied().collect()
+    }
+
+    /// Diamond signatures per destination: `(destination, head, tail)`.
+    pub fn diamond_signatures(&self) -> HashSet<(Ipv4Addr, Ipv4Addr, Ipv4Addr)> {
+        self.graphs
+            .iter()
+            .flat_map(|(d, g)| {
+                g.diamond_signatures().into_iter().map(move |(h, t)| (*d, h, t))
+            })
+            .collect()
+    }
+
+    /// Total loop instances.
+    pub fn loop_instance_count(&self) -> u64 {
+        self.loop_instances.values().sum()
+    }
+
+    /// Total cycle instances.
+    pub fn cycle_instance_count(&self) -> u64 {
+        self.cycle_instances.values().sum()
+    }
+
+    /// Summarize this tool's campaign.
+    pub fn report(&self) -> ToolReport {
+        let pct = |num: u64, den: u64| if den == 0 { 0.0 } else { num as f64 / den as f64 * 100.0 };
+        let loop_sigs = self.loop_sig_rounds.len() as u64;
+        let loop_sigs_single_round =
+            self.loop_sig_rounds.values().filter(|r| r.len() == 1).count() as u64;
+        let cycle_sigs = self.cycle_sig_rounds.len() as u64;
+        let cycle_sigs_single_round =
+            self.cycle_sig_rounds.values().filter(|r| r.len() == 1).count() as u64;
+        let cycle_sig_mean_rounds = if cycle_sigs == 0 {
+            0.0
+        } else {
+            self.cycle_sig_rounds.values().map(|r| r.len() as f64).sum::<f64>() / cycle_sigs as f64
+        };
+        let dests_with_diamond =
+            self.graphs.values().filter(|g| !g.diamonds().is_empty()).count() as u64;
+        let diamonds_total: u64 = self.graphs.values().map(|g| g.diamonds().len() as u64).sum();
+        ToolReport {
+            tool: self.tool,
+            rounds: self.rounds_seen.len() as u64,
+            routes_total: self.routes_total,
+            destinations: self.dests.len() as u64,
+            addresses_discovered: self.addrs_seen.len() as u64,
+            probes_sent: self.probes_sent,
+            responses: self.responses,
+            stars: self.stars,
+            mid_route_stars: self.mid_route_stars,
+            pct_routes_reaching_destination: pct(self.reached, self.routes_total),
+            pct_routes_with_loop: pct(self.routes_with_loop, self.routes_total),
+            pct_dests_with_loop: pct(self.dests_with_loop.len() as u64, self.dests.len() as u64),
+            pct_addrs_in_loop: pct(self.addrs_in_loop.len() as u64, self.addrs_seen.len() as u64),
+            loop_signatures: loop_sigs,
+            pct_loop_sigs_single_round: pct(loop_sigs_single_round, loop_sigs),
+            pct_routes_with_cycle: pct(self.routes_with_cycle, self.routes_total),
+            pct_dests_with_cycle: pct(self.dests_with_cycle.len() as u64, self.dests.len() as u64),
+            pct_addrs_in_cycle: pct(self.addrs_in_cycle.len() as u64, self.addrs_seen.len() as u64),
+            cycle_signatures: cycle_sigs,
+            pct_cycle_sigs_single_round: pct(cycle_sigs_single_round, cycle_sigs),
+            cycle_sig_mean_rounds,
+            diamonds_total,
+            pct_dests_with_diamond: pct(dests_with_diamond, self.graphs.len() as u64),
+        }
+    }
+}
+
+/// One tool's campaign summary — the §3/§4 numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToolReport {
+    /// The tool.
+    pub tool: StrategyId,
+    /// Rounds ingested (556 in the paper).
+    pub rounds: u64,
+    /// Total measured routes.
+    pub routes_total: u64,
+    /// Distinct destinations probed (5,000 in the paper).
+    pub destinations: u64,
+    /// Distinct addresses discovered.
+    pub addresses_discovered: u64,
+    /// Probes sent.
+    pub probes_sent: u64,
+    /// Responses received (~90 M in the paper).
+    pub responses: u64,
+    /// Probes with no response.
+    pub stars: u64,
+    /// Stars appearing before the last responding hop (2.6 M in the paper).
+    pub mid_route_stars: u64,
+    /// Share of routes whose destination answered.
+    pub pct_routes_reaching_destination: f64,
+    /// §4.1.2: 5.3% for classic traceroute.
+    pub pct_routes_with_loop: f64,
+    /// §4.1.2: 18%.
+    pub pct_dests_with_loop: f64,
+    /// §4.1.2: 6.3%.
+    pub pct_addrs_in_loop: f64,
+    /// Distinct loop signatures.
+    pub loop_signatures: u64,
+    /// §4.1.2: 18% of loop signatures seen in only one round.
+    pub pct_loop_sigs_single_round: f64,
+    /// §4.2.2: 0.84%.
+    pub pct_routes_with_cycle: f64,
+    /// §4.2.2: 11%.
+    pub pct_dests_with_cycle: f64,
+    /// §4.2.2: 3.6%.
+    pub pct_addrs_in_cycle: f64,
+    /// Distinct cycle signatures.
+    pub cycle_signatures: u64,
+    /// §4.2.2: 30%.
+    pub pct_cycle_sigs_single_round: f64,
+    /// §4.2.2: 6.8 rounds on average.
+    pub cycle_sig_mean_rounds: f64,
+    /// §4.3.2: 16,385 for classic traceroute.
+    pub diamonds_total: u64,
+    /// §4.3.2: 79%.
+    pub pct_dests_with_diamond: f64,
+}
+
+/// The classic-vs-Paris attribution (§4's headline numbers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonReport {
+    /// Loop-cause shares over all classic loop instances, in percent.
+    pub loop_causes: HashMap<FinalLoopCause, f64>,
+    /// Cycle-cause shares over all classic cycle instances, in percent.
+    pub cycle_causes: HashMap<FinalCycleCause, f64>,
+    /// §4.3.2: share of classic diamonds absent under Paris (64%).
+    pub diamond_per_flow_pct: f64,
+    /// §4.1.2: loops seen *only* by Paris, as a share of classic loops
+    /// (0.25% in the paper) — routing-dynamics noise.
+    pub loops_only_in_paris_pct: f64,
+}
+
+/// Difference a classic campaign against a Paris campaign, reproducing
+/// the paper's attribution method: a route-local cause wins when present;
+/// otherwise a signature absent under Paris is per-flow load balancing;
+/// the residue is suspected per-packet balancing.
+pub fn compare(classic: &CampaignAccumulator, paris: &CampaignAccumulator) -> ComparisonReport {
+    let paris_loop_sigs = paris.loop_signatures();
+    let paris_cycle_sigs = paris.cycle_signatures();
+
+    let mut loop_causes: HashMap<FinalLoopCause, u64> = HashMap::new();
+    for ((sig, cause), n) in &classic.loop_instances {
+        let final_cause = match cause {
+            LoopCause::Unreachability => FinalLoopCause::Unreachability,
+            LoopCause::ZeroTtlForwarding => FinalLoopCause::ZeroTtlForwarding,
+            LoopCause::AddressRewriting => FinalLoopCause::AddressRewriting,
+            LoopCause::Unexplained => {
+                if paris_loop_sigs.contains(sig) {
+                    FinalLoopCause::PerPacketSuspected
+                } else {
+                    FinalLoopCause::PerFlowLoadBalancing
+                }
+            }
+        };
+        *loop_causes.entry(final_cause).or_insert(0) += n;
+    }
+    let loop_total: u64 = loop_causes.values().sum();
+
+    let mut cycle_causes: HashMap<FinalCycleCause, u64> = HashMap::new();
+    for ((sig, cause), n) in &classic.cycle_instances {
+        let final_cause = match cause {
+            CycleCause::Unreachability => FinalCycleCause::Unreachability,
+            CycleCause::ForwardingLoop => FinalCycleCause::ForwardingLoop,
+            CycleCause::Unexplained => {
+                if paris_cycle_sigs.contains(sig) {
+                    FinalCycleCause::Other
+                } else {
+                    FinalCycleCause::PerFlowLoadBalancing
+                }
+            }
+        };
+        *cycle_causes.entry(final_cause).or_insert(0) += n;
+    }
+    let cycle_total: u64 = cycle_causes.values().sum();
+
+    let classic_diamonds = classic.diamond_signatures();
+    let paris_diamonds = paris.diamond_signatures();
+    let absent = classic_diamonds.difference(&paris_diamonds).count() as f64;
+    let diamond_per_flow_pct = if classic_diamonds.is_empty() {
+        0.0
+    } else {
+        absent / classic_diamonds.len() as f64 * 100.0
+    };
+
+    let classic_loop_sigs = classic.loop_signatures();
+    let paris_only: u64 = paris
+        .loop_instances
+        .iter()
+        .filter(|((sig, _), _)| !classic_loop_sigs.contains(sig))
+        .map(|(_, n)| *n)
+        .sum();
+    let loops_only_in_paris_pct = if loop_total == 0 {
+        0.0
+    } else {
+        paris_only as f64 / loop_total as f64 * 100.0
+    };
+
+    let to_pct = |m: HashMap<FinalLoopCause, u64>, total: u64| {
+        m.into_iter()
+            .map(|(k, v)| (k, if total == 0 { 0.0 } else { v as f64 / total as f64 * 100.0 }))
+            .collect()
+    };
+    let to_pct_c = |m: HashMap<FinalCycleCause, u64>, total: u64| {
+        m.into_iter()
+            .map(|(k, v)| (k, if total == 0 { 0.0 } else { v as f64 / total as f64 * 100.0 }))
+            .collect()
+    };
+
+    ComparisonReport {
+        loop_causes: to_pct(loop_causes, loop_total),
+        cycle_causes: to_pct_c(cycle_causes, cycle_total),
+        diamond_per_flow_pct,
+        loops_only_in_paris_pct,
+    }
+}
+
+impl ComparisonReport {
+    /// Share (percent) for a loop cause, zero if never seen.
+    pub fn loop_pct(&self, cause: FinalLoopCause) -> f64 {
+        self.loop_causes.get(&cause).copied().unwrap_or(0.0)
+    }
+
+    /// Share (percent) for a cycle cause, zero if never seen.
+    pub fn cycle_pct(&self, cause: FinalCycleCause) -> f64 {
+        self.cycle_causes.get(&cause).copied().unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_core::{HaltReason, Hop, ProbeResult, ResponseKind};
+    use pt_netsim::time::SimDuration;
+
+    fn addr(x: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, x)
+    }
+
+    fn probe(a: Option<u8>) -> ProbeResult {
+        match a {
+            None => ProbeResult::STAR,
+            Some(x) => ProbeResult {
+                addr: Some(addr(x)),
+                rtt: Some(SimDuration::from_millis(1)),
+                kind: Some(ResponseKind::TimeExceeded),
+                probe_ttl: Some(1),
+                response_ttl: Some(250),
+                ip_id: Some(0),
+            },
+        }
+    }
+
+    fn route(tool: StrategyId, dest: u8, hops: Vec<Option<u8>>) -> MeasuredRoute {
+        MeasuredRoute {
+            strategy: tool,
+            source: addr(1),
+            destination: addr(dest),
+            min_ttl: 1,
+            hops: hops
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| Hop { ttl: (i + 1) as u8, probes: vec![probe(p)] })
+                .collect(),
+            halt: HaltReason::MaxTtl,
+        }
+    }
+
+    #[test]
+    fn accumulator_counts_basic_quantities() {
+        let mut acc = CampaignAccumulator::new(StrategyId::ClassicUdp);
+        acc.ingest(0, &route(StrategyId::ClassicUdp, 100, vec![Some(2), Some(3), Some(3)]));
+        acc.ingest(0, &route(StrategyId::ClassicUdp, 101, vec![Some(2), Some(4), None]));
+        acc.ingest(1, &route(StrategyId::ClassicUdp, 100, vec![Some(2), Some(3), Some(3)]));
+        let r = acc.report();
+        assert_eq!(r.rounds, 2);
+        assert_eq!(r.routes_total, 3);
+        assert_eq!(r.destinations, 2);
+        assert!((r.pct_routes_with_loop - 2.0 / 3.0 * 100.0).abs() < 1e-9);
+        assert!((r.pct_dests_with_loop - 50.0).abs() < 1e-9);
+        assert_eq!(r.loop_signatures, 1);
+        assert_eq!(acc.loop_instance_count(), 2);
+        assert_eq!(r.stars, 1);
+    }
+
+    #[test]
+    fn per_flow_attribution_by_absence_under_paris() {
+        // Classic sees the loop on (3, 100); Paris never does.
+        let mut classic = CampaignAccumulator::new(StrategyId::ClassicUdp);
+        let mut paris = CampaignAccumulator::new(StrategyId::ParisUdp);
+        for round in 0..5 {
+            classic.ingest(round, &route(StrategyId::ClassicUdp, 100, vec![Some(2), Some(3), Some(3)]));
+            paris.ingest(round, &route(StrategyId::ParisUdp, 100, vec![Some(2), Some(3), Some(5)]));
+        }
+        let cmp = compare(&classic, &paris);
+        assert!((cmp.loop_pct(FinalLoopCause::PerFlowLoadBalancing) - 100.0).abs() < 1e-9);
+        assert_eq!(cmp.loops_only_in_paris_pct, 0.0);
+    }
+
+    #[test]
+    fn shared_signature_becomes_per_packet_suspect() {
+        let mut classic = CampaignAccumulator::new(StrategyId::ClassicUdp);
+        let mut paris = CampaignAccumulator::new(StrategyId::ParisUdp);
+        classic.ingest(0, &route(StrategyId::ClassicUdp, 100, vec![Some(2), Some(3), Some(3)]));
+        paris.ingest(0, &route(StrategyId::ParisUdp, 100, vec![Some(2), Some(3), Some(3)]));
+        let cmp = compare(&classic, &paris);
+        assert!((cmp.loop_pct(FinalLoopCause::PerPacketSuspected) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn route_local_causes_beat_differencing() {
+        // A zero-TTL loop: classic sees it, Paris ALSO sees it (it is not
+        // flow-dependent), but even if Paris missed it the route-local
+        // cause must win.
+        let mut classic = CampaignAccumulator::new(StrategyId::ClassicUdp);
+        let paris = CampaignAccumulator::new(StrategyId::ParisUdp);
+        let mut r = route(StrategyId::ClassicUdp, 100, vec![Some(2), Some(3), Some(3)]);
+        r.hops[1].probes[0].probe_ttl = Some(0);
+        classic.ingest(0, &r);
+        let cmp = compare(&classic, &paris);
+        assert!((cmp.loop_pct(FinalLoopCause::ZeroTtlForwarding) - 100.0).abs() < 1e-9);
+        assert_eq!(cmp.loop_pct(FinalLoopCause::PerFlowLoadBalancing), 0.0);
+    }
+
+    #[test]
+    fn diamond_differencing() {
+        let mut classic = CampaignAccumulator::new(StrategyId::ClassicUdp);
+        let mut paris = CampaignAccumulator::new(StrategyId::ParisUdp);
+        // Classic: two diamonds toward dests 100 and 101.
+        classic.ingest(0, &route(StrategyId::ClassicUdp, 100, vec![Some(5), Some(6), Some(8)]));
+        classic.ingest(1, &route(StrategyId::ClassicUdp, 100, vec![Some(5), Some(7), Some(8)]));
+        classic.ingest(0, &route(StrategyId::ClassicUdp, 101, vec![Some(5), Some(6), Some(8)]));
+        classic.ingest(1, &route(StrategyId::ClassicUdp, 101, vec![Some(5), Some(7), Some(8)]));
+        // Paris: the dest-101 diamond persists (true per-packet topology),
+        // the dest-100 one vanishes.
+        paris.ingest(0, &route(StrategyId::ParisUdp, 100, vec![Some(5), Some(6), Some(8)]));
+        paris.ingest(1, &route(StrategyId::ParisUdp, 100, vec![Some(5), Some(6), Some(8)]));
+        paris.ingest(0, &route(StrategyId::ParisUdp, 101, vec![Some(5), Some(6), Some(8)]));
+        paris.ingest(1, &route(StrategyId::ParisUdp, 101, vec![Some(5), Some(7), Some(8)]));
+        let cmp = compare(&classic, &paris);
+        assert!((cmp.diamond_per_flow_pct - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paris_only_loops_are_reported() {
+        let mut classic = CampaignAccumulator::new(StrategyId::ClassicUdp);
+        let mut paris = CampaignAccumulator::new(StrategyId::ParisUdp);
+        // Classic: 4 loop instances on one signature.
+        for round in 0..4 {
+            classic.ingest(round, &route(StrategyId::ClassicUdp, 100, vec![Some(2), Some(3), Some(3)]));
+        }
+        // Paris: 1 loop on a signature classic never saw.
+        paris.ingest(0, &route(StrategyId::ParisUdp, 100, vec![Some(2), Some(9), Some(9)]));
+        let cmp = compare(&classic, &paris);
+        assert!((cmp.loops_only_in_paris_pct - 25.0).abs() < 1e-9, "1 paris-only / 4 classic");
+    }
+
+    #[test]
+    fn single_round_signature_rarity() {
+        let mut acc = CampaignAccumulator::new(StrategyId::ClassicUdp);
+        // Signature A in rounds 0 and 1; signature B only in round 0.
+        acc.ingest(0, &route(StrategyId::ClassicUdp, 100, vec![Some(3), Some(3)]));
+        acc.ingest(1, &route(StrategyId::ClassicUdp, 100, vec![Some(3), Some(3)]));
+        acc.ingest(0, &route(StrategyId::ClassicUdp, 101, vec![Some(4), Some(4)]));
+        let r = acc.report();
+        assert_eq!(r.loop_signatures, 2);
+        assert!((r.pct_loop_sigs_single_round - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,47 @@
+//! E8 — §3: campaign scale and pacing statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pt_bench::{header, mini_campaign};
+use pt_campaign::{run, CampaignConfig};
+use pt_topogen::{generate, InternetConfig};
+
+fn experiment() {
+    header("E8 / §3", "measurement setup scale");
+    let (net, result) = mini_campaign(400, 12, 8);
+    let c = &result.classic_report;
+    println!("  destinations: {} (paper: 5,000)", c.destinations);
+    println!("  rounds: {} (paper: 556)", c.rounds);
+    println!("  routes measured (classic): {}", c.routes_total);
+    println!(
+        "  responses: {} of {} probes; stars: {} ({} mid-route)",
+        c.responses, c.probes_sent, c.stars, c.mid_route_stars
+    );
+    println!(
+        "  paper: ~90 M responses, stars mostly at route ends, 2.6 M mid-route — shape: {}",
+        if c.mid_route_stars < c.stars { "matches (mid-route < total)" } else { "MISMATCH" }
+    );
+    println!(
+        "  virtual probing time per shard: {:.0} s for {} destination-rounds (paper: ~71 min per 5,000-dest round)",
+        result.mean_virtual_secs_per_shard,
+        c.routes_total / 8,
+    );
+    assert!(c.mid_route_stars < c.stars);
+    assert_eq!(c.destinations as usize, net.dests.len());
+}
+
+fn bench(c: &mut Criterion) {
+    experiment();
+    let net = generate(&InternetConfig { n_destinations: 100, ..InternetConfig::default() });
+    c.bench_function("campaign/one_round_100_dests", |b| {
+        b.iter(|| {
+            run(&net, &CampaignConfig { rounds: 1, shards: 8, ..CampaignConfig::default() })
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E10 — §4.2.2: cycle statistics and cause attribution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pt_anomaly::find_cycles;
+use pt_anomaly::stats::FinalCycleCause;
+use pt_bench::{header, mini_campaign, row};
+
+fn experiment() {
+    header("E10 / §4.2.2", "cycles: prevalence and causes, classic traceroute");
+    let (_net, result) = mini_campaign(800, 20, 9);
+    let c = &result.classic_report;
+    let cmp = &result.comparison;
+    row("% routes with a cycle", 0.84, c.pct_routes_with_cycle);
+    row("% destinations with a cycle", 11.0, c.pct_dests_with_cycle);
+    row("% addresses in a cycle", 3.6, c.pct_addrs_in_cycle);
+    row("% cycle sigs in one round only", 30.0, c.pct_cycle_sigs_single_round);
+    row("mean rounds per cycle signature", 6.8, c.cycle_sig_mean_rounds);
+    row(
+        "% cycles from per-flow load balancing",
+        78.0,
+        cmp.cycle_pct(FinalCycleCause::PerFlowLoadBalancing),
+    );
+    row("% cycles from forwarding loops", 20.0, cmp.cycle_pct(FinalCycleCause::ForwardingLoop));
+    row("% cycles from unreachability", 1.2, cmp.cycle_pct(FinalCycleCause::Unreachability));
+    // Shape: cycles are much rarer than loops; per-flow LB is the largest
+    // cause; forwarding loops are the second.
+    assert!(c.pct_routes_with_cycle < c.pct_routes_with_loop);
+    assert!(
+        cmp.cycle_pct(FinalCycleCause::PerFlowLoadBalancing)
+            > cmp.cycle_pct(FinalCycleCause::ForwardingLoop)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    experiment();
+    let net = pt_topogen::generate(&pt_topogen::InternetConfig {
+        n_destinations: 60,
+        ..Default::default()
+    });
+    let config = pt_campaign::CampaignConfig {
+        rounds: 4,
+        shards: 4,
+        keep_routes: true,
+        ..Default::default()
+    };
+    let routes: Vec<_> =
+        pt_campaign::run(&net, &config).routes.into_iter().map(|(_, _, r)| r).collect();
+    c.bench_function("cycles/find_cycles_480_routes", |b| {
+        b.iter(|| routes.iter().map(|r| find_cycles(r).len()).sum::<usize>())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! E11 — §4.3.2: diamond statistics and the per-flow share.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pt_bench::{header, mini_campaign, row};
+
+fn experiment() {
+    header("E11 / §4.3.2", "diamonds: prevalence and per-flow share");
+    let (_net, result) = mini_campaign(800, 20, 9);
+    let c = &result.classic_report;
+    row("% destinations with a diamond", 79.0, c.pct_dests_with_diamond);
+    row("% diamonds from per-flow LB", 64.0, result.comparison.diamond_per_flow_pct);
+    println!(
+        "  diamonds observed: classic {} vs paris {} (paper: 16,385 classic diamonds at full scale)",
+        c.diamonds_total, result.paris_report.diamonds_total
+    );
+    assert!(c.pct_dests_with_diamond > 40.0);
+    assert!(c.diamonds_total > result.paris_report.diamonds_total);
+    assert!(result.comparison.diamond_per_flow_pct > 40.0);
+}
+
+fn bench(c: &mut Criterion) {
+    experiment();
+    c.bench_function("diamonds/mini_campaign_100x4", |b| {
+        b.iter(|| mini_campaign(100, 4, 3))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! E1 — Fig. 1: missing nodes and false links under per-flow load
+//! balancing, and Paris traceroute's fix.
+//!
+//! Regenerates the figure's inference outcome: across many classic
+//! traces, the false link A0→D0 is inferred and B0/C0 stay hidden; Paris
+//! traces never pair A with D. Then times a full trace through the
+//! topology for both tools.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pt_bench::{header, transport};
+use pt_core::{trace, ClassicUdp, ParisUdp, TraceConfig};
+use pt_netsim::node::BalancerKind;
+use pt_netsim::scenarios;
+use pt_wire::FlowPolicy;
+
+fn experiment() {
+    header("E1 / Fig. 1", "false links and missing nodes");
+    let sc = scenarios::fig1(BalancerKind::PerFlow(FlowPolicy::FiveTuple));
+    let mut tx = transport(&sc, 1);
+    let mut classic_false_links = 0;
+    let n = 64;
+    for pid in 0..n {
+        let mut s = ClassicUdp::new(pid);
+        let r = trace(&mut tx, &mut s, sc.destination, TraceConfig::default());
+        let a = r.addresses();
+        if a[6] == Some(sc.a("A")) && a[7] == Some(sc.a("D")) {
+            classic_false_links += 1;
+        }
+    }
+    let mut paris_false_links = 0;
+    for i in 0..n {
+        let mut s = ParisUdp::new(41_000 + i, 52_000);
+        let r = trace(&mut tx, &mut s, sc.destination, TraceConfig::default());
+        let a = r.addresses();
+        if a[6] == Some(sc.a("A")) && a[7] == Some(sc.a("D")) {
+            paris_false_links += 1;
+        }
+    }
+    println!("  classic traces showing the false A→D adjacency: {classic_false_links}/{n}");
+    println!("  paris   traces showing the false A→D adjacency: {paris_false_links}/{n}");
+    println!("  expected: classic > 0 (the paper's Fig. 1 outcome), paris = 0");
+    assert!(classic_false_links > 0 && paris_false_links == 0);
+}
+
+fn bench(c: &mut Criterion) {
+    experiment();
+    let sc = scenarios::fig1(BalancerKind::PerFlow(FlowPolicy::FiveTuple));
+    c.bench_function("fig1/classic_trace", |b| {
+        let mut tx = transport(&sc, 1);
+        let mut pid = 0u16;
+        b.iter(|| {
+            pid = pid.wrapping_add(1);
+            let mut s = ClassicUdp::new(pid);
+            trace(&mut tx, &mut s, sc.destination, TraceConfig::default())
+        });
+    });
+    c.bench_function("fig1/paris_trace", |b| {
+        let mut tx = transport(&sc, 1);
+        let mut port = 41_000u16;
+        b.iter(|| {
+            port = port.wrapping_add(1);
+            let mut s = ParisUdp::new(port, 52_000);
+            trace(&mut tx, &mut s, sc.destination, TraceConfig::default())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E4 — Fig. 3: loops caused by load balancing over unequal-length
+//! paths, and their disappearance under Paris traceroute.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pt_anomaly::find_loops;
+use pt_bench::{header, transport};
+use pt_core::{trace, ClassicUdp, ParisUdp, TraceConfig};
+use pt_netsim::node::BalancerKind;
+use pt_netsim::scenarios;
+use pt_wire::FlowPolicy;
+
+fn experiment() {
+    header("E4 / Fig. 3", "loops from unequal-length balanced paths");
+    let sc = scenarios::fig3(BalancerKind::PerFlow(FlowPolicy::FiveTuple));
+    let mut tx = transport(&sc, 7);
+    let n = 128;
+    let mut classic_loops = 0;
+    for pid in 0..n {
+        let mut s = ClassicUdp::new(pid);
+        let r = trace(&mut tx, &mut s, sc.destination, TraceConfig::default());
+        if find_loops(&r).iter().any(|l| l.addr == sc.a("E")) {
+            classic_loops += 1;
+        }
+    }
+    let mut paris_loops = 0;
+    for i in 0..n {
+        let mut s = ParisUdp::new(41_000 + i, 52_000);
+        let r = trace(&mut tx, &mut s, sc.destination, TraceConfig::default());
+        if !find_loops(&r).is_empty() {
+            paris_loops += 1;
+        }
+    }
+    let frac = f64::from(classic_loops) / f64::from(n);
+    println!("  classic traces with the (E, E) loop: {classic_loops}/{n} = {frac:.2}");
+    println!("  expected ≈ 0.25 for a 2-way random flow split (short at hop k, long at k+1)");
+    println!("  paris traces with any loop: {paris_loops}/{n} (expected 0)");
+    assert!(classic_loops > 0 && paris_loops == 0);
+    assert!((frac - 0.25).abs() < 0.15, "loop fraction {frac}");
+}
+
+fn bench(c: &mut Criterion) {
+    experiment();
+    let sc = scenarios::fig3(BalancerKind::PerFlow(FlowPolicy::FiveTuple));
+    c.bench_function("fig3/trace_and_detect", |b| {
+        let mut tx = transport(&sc, 7);
+        let mut pid = 0u16;
+        b.iter(|| {
+            pid = pid.wrapping_add(1);
+            let mut s = ClassicUdp::new(pid);
+            let r = trace(&mut tx, &mut s, sc.destination, TraceConfig::default());
+            find_loops(&r)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

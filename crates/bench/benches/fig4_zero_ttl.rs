@@ -1,0 +1,53 @@
+//! E5 — Fig. 4: the zero-TTL-forwarding loop and its probe-TTL signature.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pt_anomaly::{find_loops, LoopCause};
+use pt_bench::{header, transport};
+use pt_core::{trace, ParisUdp, TraceConfig};
+use pt_netsim::scenarios;
+
+fn experiment() {
+    header("E5 / Fig. 4", "zero-TTL forwarding loop, probe TTL 0 → 1");
+    let sc = scenarios::fig4();
+    let mut tx = transport(&sc, 3);
+    let mut s = ParisUdp::new(41_000, 52_000);
+    let r = trace(&mut tx, &mut s, sc.destination, TraceConfig::default());
+    let loops = find_loops(&r);
+    assert_eq!(loops.len(), 1, "exactly the A,A loop");
+    let l = &loops[0];
+    println!("  loop on {} (= A0), hops {}–{}", l.addr, l.start + 1, l.start + l.len);
+    println!(
+        "  probe TTLs: {:?} then {:?} (paper: 0 then 1)",
+        r.hops[l.start].probes[0].probe_ttl,
+        r.hops[l.start + 1].probes[0].probe_ttl
+    );
+    println!("  classifier verdict: {:?}", l.cause);
+    assert_eq!(l.addr, sc.a("A"));
+    assert_eq!(l.cause, LoopCause::ZeroTtlForwarding);
+    assert_eq!(r.hops[l.start].probes[0].probe_ttl, Some(0));
+    // F never appears anywhere in the route.
+    assert!(r.addresses().iter().all(|a| *a != Some(sc.a("F"))));
+    println!("  F0 absent from the measured route, as the paper predicts");
+}
+
+fn bench(c: &mut Criterion) {
+    experiment();
+    let sc = scenarios::fig4();
+    c.bench_function("fig4/trace_classify", |b| {
+        let mut tx = transport(&sc, 3);
+        let mut port = 41_000u16;
+        b.iter(|| {
+            port = port.wrapping_add(1);
+            let mut s = ParisUdp::new(port, 52_000);
+            let r = trace(&mut tx, &mut s, sc.destination, TraceConfig::default());
+            find_loops(&r)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

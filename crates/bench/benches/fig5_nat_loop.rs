@@ -1,0 +1,47 @@
+//! E6 — Fig. 5: the NAT address-rewriting loop, detected through the
+//! response TTL slope (the paper's exact 250, 249, 248, 247).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pt_anomaly::{find_loops, LoopCause};
+use pt_bench::{header, transport};
+use pt_core::{trace, ParisUdp, TraceConfig};
+use pt_netsim::scenarios;
+
+fn experiment() {
+    header("E6 / Fig. 5", "NAT rewriting loop and response TTLs");
+    let sc = scenarios::fig5();
+    let mut tx = transport(&sc, 5);
+    let mut s = ParisUdp::new(41_000, 52_000);
+    let r = trace(&mut tx, &mut s, sc.destination, TraceConfig::default());
+    let ttls: Vec<u8> = (5..9).map(|i| r.hops[i].probes[0].response_ttl.unwrap()).collect();
+    println!("  hops 6–9 all answer as N0 = {}", sc.a("N"));
+    println!("  response TTLs: {ttls:?} (paper: [250, 249, 248, 247])");
+    assert_eq!(ttls, vec![250, 249, 248, 247]);
+    let loops = find_loops(&r);
+    assert!(!loops.is_empty());
+    println!("  classifier verdict: {:?} (at route end: {})", loops[0].cause, loops[0].at_route_end);
+    assert_eq!(loops[0].cause, LoopCause::AddressRewriting);
+    assert!(loops[0].at_route_end, "rewriting loops live at the end of routes");
+}
+
+fn bench(c: &mut Criterion) {
+    experiment();
+    let sc = scenarios::fig5();
+    c.bench_function("fig5/trace_classify", |b| {
+        let mut tx = transport(&sc, 5);
+        let mut port = 41_000u16;
+        b.iter(|| {
+            port = port.wrapping_add(1);
+            let mut s = ParisUdp::new(port, 52_000);
+            let r = trace(&mut tx, &mut s, sc.destination, TraceConfig::default());
+            find_loops(&r)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! E7 — Fig. 6: diamond signatures from classic vs Paris graphs.
+//!
+//! The Paris per-destination graph contains exactly the paper's four
+//! diamonds {(L,D), (L,E), (A,G), (B,G)} and not (C,G); the classic
+//! graph fabricates (C,G) through flow mixing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pt_anomaly::DestinationGraph;
+use pt_bench::{header, transport};
+use pt_core::{trace, ClassicUdp, ParisUdp, TraceConfig};
+use pt_netsim::node::BalancerKind;
+use pt_netsim::scenarios;
+use pt_wire::FlowPolicy;
+
+fn experiment() {
+    header("E7 / Fig. 6", "diamond signatures");
+    let sc = scenarios::fig6(BalancerKind::PerFlow(FlowPolicy::FiveTuple));
+    let mut tx = transport(&sc, 11);
+    let mut classic_graph = DestinationGraph::new();
+    let mut paris_graph = DestinationGraph::new();
+    for i in 0..64u16 {
+        let mut cs = ClassicUdp::new(i);
+        classic_graph.ingest(&trace(&mut tx, &mut cs, sc.destination, TraceConfig::default()));
+        let mut ps = ParisUdp::new(42_000 + i, 52_100 + i);
+        paris_graph.ingest(&trace(&mut tx, &mut ps, sc.destination, TraceConfig::default()));
+    }
+    let paris_sigs = paris_graph.diamond_signatures();
+    let expected: std::collections::BTreeSet<_> = [
+        (sc.a("L"), sc.a("D")),
+        (sc.a("L"), sc.a("E")),
+        (sc.a("A"), sc.a("G")),
+        (sc.a("B"), sc.a("G")),
+    ]
+    .into_iter()
+    .collect();
+    println!("  paris diamonds:   {} (paper's exact four)", paris_sigs.len());
+    println!("  classic diamonds: {} (includes the false (C,G))", classic_graph.diamonds().len());
+    assert_eq!(paris_sigs, expected);
+    assert!(!paris_graph.is_diamond(sc.a("C"), sc.a("G")), "(C0,G0) must not be a diamond");
+    assert!(classic_graph.is_diamond(sc.a("C"), sc.a("G")), "classic fabricates (C,G)");
+}
+
+fn bench(c: &mut Criterion) {
+    experiment();
+    let sc = scenarios::fig6(BalancerKind::PerFlow(FlowPolicy::FiveTuple));
+    // Pre-collect routes; time the graph construction + diamond query.
+    let mut tx = transport(&sc, 11);
+    let routes: Vec<_> = (0..64u16)
+        .map(|i| {
+            let mut s = ClassicUdp::new(i);
+            trace(&mut tx, &mut s, sc.destination, TraceConfig::default())
+        })
+        .collect();
+    c.bench_function("fig6/graph_and_diamonds_64_routes", |b| {
+        b.iter(|| {
+            let mut g = DestinationGraph::new();
+            for r in &routes {
+                g.ingest(r);
+            }
+            g.diamonds()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

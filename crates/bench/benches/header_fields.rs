@@ -1,0 +1,71 @@
+//! E3 — Fig. 2: the role of every header field, verified behaviourally.
+//!
+//! For each tool, builds consecutive probes and checks — against real
+//! flow hashing over real emitted bytes — whether the flow identifier
+//! changes, reproducing the figure's key claim per tool. Then times flow
+//! key extraction, the hot operation of every per-flow balancer.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pt_bench::header;
+use pt_core::{ClassicIcmp, ClassicUdp, ParisIcmp, ParisTcp, ParisUdp, ProbeStrategy, TcpTraceroute};
+use pt_wire::FlowPolicy;
+use std::net::Ipv4Addr;
+
+fn flow_constant(strategy: &mut dyn ProbeStrategy) -> bool {
+    let src = Ipv4Addr::new(10, 0, 0, 1);
+    let dst = Ipv4Addr::new(192, 0, 2, 99);
+    let first = strategy.build_probe(src, dst, 5, 0);
+    (1..32).all(|idx| {
+        let p = strategy.build_probe(src, dst, 5 + (idx % 30) as u8, idx);
+        FlowPolicy::ALL.iter().all(|policy| policy.same_flow(&first, &p))
+    })
+}
+
+fn experiment() {
+    header("E3 / Fig. 2", "which tools keep the flow identifier constant");
+    let mut tools: Vec<(Box<dyn ProbeStrategy>, bool)> = vec![
+        (Box::new(ClassicUdp::new(77)), false),
+        (Box::new(ClassicIcmp::new(77)), false),
+        (Box::new(ParisUdp::new(40_100, 50_100)), true),
+        (Box::new(ParisIcmp::new(0xbeef)), true),
+        (Box::new(ParisTcp::new(55_100)), true),
+        (Box::new(TcpTraceroute::new(55_101)), true),
+    ];
+    for (strategy, expected) in &mut tools {
+        let constant = flow_constant(strategy.as_mut());
+        println!(
+            "  {:<14} flow identifier constant: {:<5} (expected {})",
+            strategy.id().name(),
+            constant,
+            expected
+        );
+        assert_eq!(constant, *expected, "tool {}", strategy.id());
+        assert_eq!(strategy.id().keeps_flow_constant(), *expected);
+    }
+    println!("  matches Fig. 2: classic varies a hashed field; paris/tcptraceroute do not");
+}
+
+fn bench(c: &mut Criterion) {
+    experiment();
+    let mut s = ParisUdp::new(40_100, 50_100);
+    let probe = s.build_probe(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(192, 0, 2, 9), 7, 3);
+    for policy in FlowPolicy::ALL {
+        c.bench_function(&format!("flow_key/{policy:?}"), |b| {
+            b.iter(|| black_box(policy.flow_key(black_box(&probe))))
+        });
+    }
+    c.bench_function("build_probe/paris_udp", |b| {
+        let mut idx = 0u64;
+        b.iter(|| {
+            idx += 1;
+            s.build_probe(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(192, 0, 2, 9), 7, idx)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

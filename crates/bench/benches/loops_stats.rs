@@ -1,0 +1,66 @@
+//! E9 — §4.1.2: loop statistics and cause attribution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pt_anomaly::stats::FinalLoopCause;
+use pt_anomaly::{find_loops, CampaignAccumulator};
+use pt_bench::{header, mini_campaign, row};
+use pt_core::StrategyId;
+
+fn experiment() {
+    header("E9 / §4.1.2", "loops: prevalence and causes, classic traceroute");
+    let (_net, result) = mini_campaign(800, 20, 9);
+    let c = &result.classic_report;
+    let cmp = &result.comparison;
+    row("% routes with a loop", 5.3, c.pct_routes_with_loop);
+    row("% destinations with a loop", 18.0, c.pct_dests_with_loop);
+    row("% addresses in a loop", 6.3, c.pct_addrs_in_loop);
+    row("% loops from per-flow load balancing", 87.0, cmp.loop_pct(FinalLoopCause::PerFlowLoadBalancing));
+    row("% loops from zero-TTL forwarding", 6.9, cmp.loop_pct(FinalLoopCause::ZeroTtlForwarding));
+    row("% loops from unreachability", 1.2, cmp.loop_pct(FinalLoopCause::Unreachability));
+    row("% loops from address rewriting", 2.8, cmp.loop_pct(FinalLoopCause::AddressRewriting));
+    row("% loops per-packet (suspected)", 2.5, cmp.loop_pct(FinalLoopCause::PerPacketSuspected));
+    row("paris % routes with a loop (≪ classic)", 0.6, result.paris_report.pct_routes_with_loop);
+    // The headline shape: classic sees loops, per-flow LB dominates the
+    // attribution, and Paris eliminates most of them.
+    assert!(c.pct_routes_with_loop > 1.0);
+    assert!(cmp.loop_pct(FinalLoopCause::PerFlowLoadBalancing) > 50.0);
+    assert!(result.paris_report.pct_routes_with_loop < c.pct_routes_with_loop / 3.0);
+}
+
+fn collect_routes() -> Vec<pt_core::MeasuredRoute> {
+    let net = pt_topogen::generate(&pt_topogen::InternetConfig {
+        n_destinations: 60,
+        ..Default::default()
+    });
+    let config = pt_campaign::CampaignConfig {
+        rounds: 4,
+        shards: 4,
+        keep_routes: true,
+        ..Default::default()
+    };
+    pt_campaign::run(&net, &config).routes.into_iter().map(|(_, _, r)| r).collect()
+}
+
+fn bench(c: &mut Criterion) {
+    experiment();
+    let routes = collect_routes();
+    c.bench_function("loops/find_loops_480_routes", |b| {
+        b.iter(|| routes.iter().map(|r| find_loops(r).len()).sum::<usize>())
+    });
+    c.bench_function("loops/accumulate_480_routes", |b| {
+        b.iter(|| {
+            let mut acc = CampaignAccumulator::new(StrategyId::ClassicUdp);
+            for (i, r) in routes.iter().enumerate() {
+                acc.ingest(i % 4, r);
+            }
+            acc.report()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! E12 — §6 future work: MDA interface enumeration and per-flow /
+//! per-packet discrimination.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pt_bench::{header, transport};
+use pt_mda::{classify_balancer, enumerate, probes_to_rule_out, BalancerClass, MdaConfig};
+use pt_netsim::node::BalancerKind;
+use pt_netsim::scenarios;
+use pt_wire::FlowPolicy;
+
+fn experiment() {
+    header("E12 / §6", "multipath detection (future work realized)");
+    println!("  stopping rule (α = 0.05): after k interfaces, probes to rule out k+1:");
+    print!("   ");
+    for k in 1..=8 {
+        print!(" k={k}:{}", probes_to_rule_out(k, 0.05));
+    }
+    println!();
+    let sc = scenarios::fig6(BalancerKind::PerFlow(FlowPolicy::FiveTuple));
+    let mut tx = transport(&sc, 17);
+    let map = enumerate(&mut tx, sc.destination, &MdaConfig::default());
+    println!("  fig6 widths per hop: {:?}", map.hops.iter().map(|h| h.interfaces.len()).collect::<Vec<_>>());
+    println!("  total probes: {} over {} hops", map.total_probes, map.hops.len());
+    assert_eq!(map.max_width(), 3);
+    let class = classify_balancer(&mut tx, sc.destination, 7, 12, &MdaConfig::default());
+    println!("  hop-7 balancer class: {class:?}");
+    assert_eq!(class, BalancerClass::PerFlow);
+    let pp = scenarios::fig6(BalancerKind::PerPacket);
+    let mut tx = transport(&pp, 17);
+    let class = classify_balancer(&mut tx, pp.destination, 7, 12, &MdaConfig::default());
+    println!("  same hop under a per-packet balancer: {class:?}");
+    assert_eq!(class, BalancerClass::PerPacket);
+}
+
+fn bench(c: &mut Criterion) {
+    experiment();
+    let sc = scenarios::fig6(BalancerKind::PerFlow(FlowPolicy::FiveTuple));
+    c.bench_function("mda/enumerate_fig6", |b| {
+        let mut tx = transport(&sc, 17);
+        b.iter(|| enumerate(&mut tx, sc.destination, &MdaConfig::default()))
+    });
+    let lin = scenarios::linear(6);
+    c.bench_function("mda/enumerate_linear6", |b| {
+        let mut tx = transport(&lin, 17);
+        b.iter(|| enumerate(&mut tx, lin.destination, &MdaConfig::default()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! E2 — §2.1's probability arithmetic, checked by Monte Carlo.
+//!
+//! With purely random 2-way balancing and three probes per hop:
+//! * P(one of the two hop-7 devices goes undiscovered) = 0.5³ × 2 = 0.25,
+//! * P(two devices discovered at hop 7 or hop 8 or both — link ambiguity)
+//!   = 0.75 + 0.25 × 0.75 = 0.9375.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pt_bench::{header, row};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One simulated hop: three probes, each randomly sent to device 0 or 1.
+/// Returns the set of devices discovered.
+fn hop_outcome(rng: &mut StdRng) -> (bool, bool) {
+    let mut seen = (false, false);
+    for _ in 0..3 {
+        if rng.gen_bool(0.5) {
+            seen.0 = true;
+        } else {
+            seen.1 = true;
+        }
+    }
+    seen
+}
+
+fn monte_carlo(trials: u64, seed: u64) -> (f64, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut missing = 0u64;
+    let mut ambiguous = 0u64;
+    for _ in 0..trials {
+        let hop7 = hop_outcome(&mut rng);
+        let hop8 = hop_outcome(&mut rng);
+        if !(hop7.0 && hop7.1) {
+            missing += 1;
+        }
+        // Ambiguity: both devices discovered at hop 7 or at hop 8 (or both).
+        if (hop7.0 && hop7.1) || (hop8.0 && hop8.1) {
+            ambiguous += 1;
+        }
+    }
+    (missing as f64 / trials as f64, ambiguous as f64 / trials as f64)
+}
+
+fn experiment() {
+    header("E2 / §2.1", "probe-math probabilities, analytic vs Monte Carlo");
+    let (missing, ambiguous) = monte_carlo(2_000_000, 42);
+    row("P(hop-7 device undiscovered), paper 0.25", 0.25, missing);
+    row("P(link ambiguity at hops 7/8), paper 0.9375", 0.9375, ambiguous);
+    assert!((missing - 0.25).abs() < 0.002);
+    assert!((ambiguous - 0.9375).abs() < 0.002);
+}
+
+fn bench(c: &mut Criterion) {
+    experiment();
+    c.bench_function("probe_math/monte_carlo_10k", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            monte_carlo(10_000, seed)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

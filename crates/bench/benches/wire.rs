@@ -1,0 +1,68 @@
+//! Performance benches for the wire layer: emit/parse throughput and the
+//! Paris checksum-pinning arithmetic — the per-packet costs every other
+//! layer pays.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pt_wire::icmp::{IcmpMessage, Quotation};
+use pt_wire::ipv4::{protocol, Ipv4Header};
+use pt_wire::{internet_checksum, Packet, Transport, UdpDatagram};
+use std::net::Ipv4Addr;
+
+fn sample_udp_packet() -> Packet {
+    let ip = Ipv4Header::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(192, 0, 2, 9), protocol::UDP, 12);
+    Packet::new(ip, Transport::Udp(UdpDatagram::new(40_000, 50_000, vec![0xab; 24])))
+}
+
+fn sample_time_exceeded() -> Packet {
+    let probe = sample_udp_packet();
+    let q = Quotation::from_probe(probe.ip, &probe.transport_bytes());
+    let ip = Ipv4Header::new(Ipv4Addr::new(10, 9, 9, 9), probe.ip.src, protocol::ICMP, 255);
+    Packet::new(ip, Transport::Icmp(IcmpMessage::TimeExceeded { quotation: q }))
+}
+
+fn bench(c: &mut Criterion) {
+    let udp = sample_udp_packet();
+    let udp_bytes = udp.emit();
+    let te = sample_time_exceeded();
+    let te_bytes = te.emit();
+
+    let mut g = c.benchmark_group("wire");
+    g.throughput(Throughput::Bytes(udp_bytes.len() as u64));
+    g.bench_function("emit_udp_probe", |b| b.iter(|| black_box(&udp).emit()));
+    g.bench_function("parse_udp_probe", |b| b.iter(|| Packet::parse(black_box(&udp_bytes)).unwrap()));
+    g.throughput(Throughput::Bytes(te_bytes.len() as u64));
+    g.bench_function("emit_time_exceeded", |b| b.iter(|| black_box(&te).emit()));
+    g.bench_function("parse_time_exceeded", |b| {
+        b.iter(|| Packet::parse(black_box(&te_bytes)).unwrap())
+    });
+    g.finish();
+
+    c.bench_function("wire/checksum_1500B", |b| {
+        let buf = vec![0x5au8; 1500];
+        b.iter(|| internet_checksum(black_box(&buf)))
+    });
+    c.bench_function("wire/pin_udp_checksum", |b| {
+        let ip = {
+            let mut ip = Ipv4Header::new(
+                Ipv4Addr::new(10, 0, 0, 1),
+                Ipv4Addr::new(192, 0, 2, 9),
+                protocol::UDP,
+                12,
+            );
+            ip.total_length = 30;
+            ip
+        };
+        let mut tag = 1u16;
+        b.iter(|| {
+            tag = tag.wrapping_add(1).max(1);
+            UdpDatagram::with_pinned_checksum(40_000, 50_000, tag, 2, &ip)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! # pt-campaign — the paper's measurement study, end to end
+//!
+//! Reproduces §3's setup over the synthetic Internet: parallel probing
+//! "processes" (threads, 32 in the paper) each own a shard of the
+//! destination list and trace every destination once per round — first
+//! with Paris traceroute (fixed random five-tuple per trace), then with
+//! classic traceroute (NetBSD header behaviour) — on a shared simulator
+//! whose virtual clock, IP-ID counters and routing dynamics persist
+//! across traces. Results flow into `pt-anomaly` accumulators; the
+//! classic-vs-Paris comparison reproduces §4's attribution.
+
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod runner;
+pub mod validate;
+
+pub use report::{render_report, PaperBaseline};
+pub use runner::{run, CampaignConfig, CampaignResult, DynamicsConfig};
+pub use validate::{validate_causes, ValidationReport};

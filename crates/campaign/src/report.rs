@@ -1,0 +1,227 @@
+//! Paper-vs-measured reporting: the §3/§4 reference values and a renderer
+//! that prints them side by side with a campaign's results.
+
+use pt_anomaly::stats::{FinalCycleCause, FinalLoopCause};
+
+use crate::runner::CampaignResult;
+
+/// Every quantitative claim of the paper's study, as published.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperBaseline {
+    /// §4.1.2: routes containing at least one loop.
+    pub pct_routes_with_loop: f64,
+    /// §4.1.2: destinations with a loop on some route.
+    pub pct_dests_with_loop: f64,
+    /// §4.1.2: discovered addresses in a loop at least once.
+    pub pct_addrs_in_loop: f64,
+    /// §4.1.2: loop signatures seen in exactly one round.
+    pub pct_loop_sigs_single_round: f64,
+    /// §4.1.2: loops attributed to per-flow load balancing.
+    pub loop_per_flow: f64,
+    /// §4.1.2: zero-TTL forwarding share.
+    pub loop_zero_ttl: f64,
+    /// §4.1.2: unreachability share.
+    pub loop_unreachability: f64,
+    /// §4.1.2: address rewriting share.
+    pub loop_rewriting: f64,
+    /// §4.1.2: suspected per-packet residue.
+    pub loop_per_packet: f64,
+    /// §4.1.2: loops seen only by Paris.
+    pub loops_only_paris: f64,
+    /// §4.2.2: routes containing a cycle.
+    pub pct_routes_with_cycle: f64,
+    /// §4.2.2: destinations with a cycle.
+    pub pct_dests_with_cycle: f64,
+    /// §4.2.2: addresses in a cycle.
+    pub pct_addrs_in_cycle: f64,
+    /// §4.2.2: cycle signatures in exactly one round.
+    pub pct_cycle_sigs_single_round: f64,
+    /// §4.2.2: mean rounds per cycle signature.
+    pub cycle_sig_mean_rounds: f64,
+    /// §4.2.2: per-flow share of cycles.
+    pub cycle_per_flow: f64,
+    /// §4.2.2: forwarding-loop share.
+    pub cycle_forwarding_loop: f64,
+    /// §4.2.2: unreachability share.
+    pub cycle_unreachability: f64,
+    /// §4.3.2: destinations showing a diamond.
+    pub pct_dests_with_diamond: f64,
+    /// §4.3.2: per-flow share of diamonds.
+    pub diamond_per_flow: f64,
+}
+
+impl PaperBaseline {
+    /// The published values.
+    pub const PUBLISHED: PaperBaseline = PaperBaseline {
+        pct_routes_with_loop: 5.3,
+        pct_dests_with_loop: 18.0,
+        pct_addrs_in_loop: 6.3,
+        pct_loop_sigs_single_round: 18.0,
+        loop_per_flow: 87.0,
+        loop_zero_ttl: 6.9,
+        loop_unreachability: 1.2,
+        loop_rewriting: 2.8,
+        loop_per_packet: 2.5,
+        loops_only_paris: 0.25,
+        pct_routes_with_cycle: 0.84,
+        pct_dests_with_cycle: 11.0,
+        pct_addrs_in_cycle: 3.6,
+        pct_cycle_sigs_single_round: 30.0,
+        cycle_sig_mean_rounds: 6.8,
+        cycle_per_flow: 78.0,
+        cycle_forwarding_loop: 20.0,
+        cycle_unreachability: 1.2,
+        pct_dests_with_diamond: 79.0,
+        diamond_per_flow: 64.0,
+    };
+}
+
+fn row(out: &mut String, label: &str, paper: f64, measured: f64) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "| {label:<46} | {paper:>8.2} | {measured:>8.2} |");
+}
+
+/// Render a paper-vs-measured table for a campaign run.
+pub fn render_report(result: &CampaignResult) -> String {
+    let p = PaperBaseline::PUBLISHED;
+    let c = &result.classic_report;
+    let cmp = &result.comparison;
+    let mut out = String::new();
+    out.push_str("## Classic traceroute anomalies: paper vs measured (%)\n\n");
+    out.push_str("| metric                                         |    paper | measured |\n");
+    out.push_str("|------------------------------------------------|----------|----------|\n");
+    row(&mut out, "routes with a loop (§4.1.2)", p.pct_routes_with_loop, c.pct_routes_with_loop);
+    row(&mut out, "destinations with a loop", p.pct_dests_with_loop, c.pct_dests_with_loop);
+    row(&mut out, "addresses in a loop", p.pct_addrs_in_loop, c.pct_addrs_in_loop);
+    row(
+        &mut out,
+        "loop signatures seen in one round only",
+        p.pct_loop_sigs_single_round,
+        c.pct_loop_sigs_single_round,
+    );
+    row(
+        &mut out,
+        "loops: per-flow load balancing",
+        p.loop_per_flow,
+        cmp.loop_pct(FinalLoopCause::PerFlowLoadBalancing),
+    );
+    row(
+        &mut out,
+        "loops: zero-TTL forwarding",
+        p.loop_zero_ttl,
+        cmp.loop_pct(FinalLoopCause::ZeroTtlForwarding),
+    );
+    row(
+        &mut out,
+        "loops: unreachability",
+        p.loop_unreachability,
+        cmp.loop_pct(FinalLoopCause::Unreachability),
+    );
+    row(
+        &mut out,
+        "loops: address rewriting",
+        p.loop_rewriting,
+        cmp.loop_pct(FinalLoopCause::AddressRewriting),
+    );
+    row(
+        &mut out,
+        "loops: per-packet (suspected)",
+        p.loop_per_packet,
+        cmp.loop_pct(FinalLoopCause::PerPacketSuspected),
+    );
+    row(&mut out, "loops seen only by Paris", p.loops_only_paris, cmp.loops_only_in_paris_pct);
+    row(&mut out, "routes with a cycle (§4.2.2)", p.pct_routes_with_cycle, c.pct_routes_with_cycle);
+    row(&mut out, "destinations with a cycle", p.pct_dests_with_cycle, c.pct_dests_with_cycle);
+    row(&mut out, "addresses in a cycle", p.pct_addrs_in_cycle, c.pct_addrs_in_cycle);
+    row(
+        &mut out,
+        "cycle signatures seen in one round only",
+        p.pct_cycle_sigs_single_round,
+        c.pct_cycle_sigs_single_round,
+    );
+    row(
+        &mut out,
+        "cycles: per-flow load balancing",
+        p.cycle_per_flow,
+        cmp.cycle_pct(FinalCycleCause::PerFlowLoadBalancing),
+    );
+    row(
+        &mut out,
+        "cycles: forwarding loops",
+        p.cycle_forwarding_loop,
+        cmp.cycle_pct(FinalCycleCause::ForwardingLoop),
+    );
+    row(
+        &mut out,
+        "cycles: unreachability",
+        p.cycle_unreachability,
+        cmp.cycle_pct(FinalCycleCause::Unreachability),
+    );
+    row(
+        &mut out,
+        "destinations with a diamond (§4.3.2)",
+        p.pct_dests_with_diamond,
+        c.pct_dests_with_diamond,
+    );
+    row(&mut out, "diamonds: per-flow load balancing", p.diamond_per_flow, cmp.diamond_per_flow_pct);
+    out.push_str("\n## Scale (§3)\n\n");
+    use std::fmt::Write;
+    let _ = writeln!(
+        out,
+        "- rounds: {} (paper: 556)\n- destinations: {} (paper: 5,000)\n\
+         - routes measured (classic): {}\n- responses (classic): {} (paper: ~90 M total)\n\
+         - mid-route stars (classic): {} (paper: 2.6 M)\n\
+         - Paris: {} routes with a loop = {:.2}% (classic: {:.2}%)\n\
+         - diamonds, classic: {} — Paris: {}\n\
+         - mean virtual probing time per shard: {:.1} s",
+        c.rounds,
+        c.destinations,
+        c.routes_total,
+        c.responses,
+        c.mid_route_stars,
+        result.paris_report.routes_total,
+        result.paris_report.pct_routes_with_loop,
+        c.pct_routes_with_loop,
+        c.diamonds_total,
+        result.paris_report.diamonds_total,
+        result.mean_virtual_secs_per_shard,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run, CampaignConfig};
+    use pt_topogen::{generate, InternetConfig};
+
+    #[test]
+    fn report_renders_every_paper_metric() {
+        let net = generate(&InternetConfig::tiny(5));
+        let result = run(&net, &CampaignConfig { rounds: 2, shards: 2, ..Default::default() });
+        let text = render_report(&result);
+        for needle in [
+            "routes with a loop",
+            "per-flow load balancing",
+            "zero-TTL forwarding",
+            "address rewriting",
+            "forwarding loops",
+            "destinations with a diamond",
+            "only by Paris",
+            "paper: 556",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in report:\n{text}");
+        }
+    }
+
+    #[test]
+    fn baseline_loop_shares_sum_to_about_100() {
+        let p = PaperBaseline::PUBLISHED;
+        let sum = p.loop_per_flow + p.loop_zero_ttl + p.loop_unreachability + p.loop_rewriting
+            + p.loop_per_packet;
+        assert!((sum - 100.0).abs() < 1.0, "published shares sum to {sum}");
+        let cycles =
+            p.cycle_per_flow + p.cycle_forwarding_loop + p.cycle_unreachability + 1.1;
+        assert!((cycles - 100.0).abs() < 1.0, "published cycle shares sum to {cycles}");
+    }
+}

@@ -1,0 +1,391 @@
+//! The side-by-side campaign runner.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pt_anomaly::{compare, CampaignAccumulator, ComparisonReport, ToolReport};
+use pt_core::{trace, ClassicUdp, MeasuredRoute, ParisUdp, StrategyId, TraceConfig};
+use pt_netsim::routing::NextHop;
+use pt_netsim::time::SimDuration;
+use pt_netsim::{SimTransport, Simulator};
+use pt_topogen::{DestInfo, SyntheticInternet};
+
+/// Routing-dynamics knobs: the §4 causes that are *events*, not topology.
+#[derive(Debug, Clone, Copy)]
+pub struct DynamicsConfig {
+    /// Per-trace probability of a transient forwarding loop between two
+    /// adjacent branch routers, active while the trace runs (→ genuine
+    /// cycles, §4.2).
+    pub forwarding_loop_prob: f64,
+    /// Delay from trace start to loop activation (lets the trace get past
+    /// the access network first).
+    pub forwarding_loop_delay: SimDuration,
+    /// How long a transient forwarding loop lasts.
+    pub forwarding_loop_window: SimDuration,
+    /// Per-trace probability that a load balancer's egress mapping flips
+    /// mid-trace (→ routing-change loops; the source of the paper's
+    /// 0.25% Paris-only loops).
+    pub balancer_flap_prob: f64,
+    /// Delay from trace start to the flap.
+    pub balancer_flap_after: SimDuration,
+}
+
+impl Default for DynamicsConfig {
+    fn default() -> Self {
+        DynamicsConfig {
+            forwarding_loop_prob: 0.0004,
+            forwarding_loop_delay: SimDuration::from_millis(100),
+            forwarding_loop_window: SimDuration::from_millis(500),
+            balancer_flap_prob: 0.008,
+            balancer_flap_after: SimDuration::from_millis(250),
+        }
+    }
+}
+
+impl DynamicsConfig {
+    /// No routing dynamics at all.
+    pub fn none() -> Self {
+        DynamicsConfig {
+            forwarding_loop_prob: 0.0,
+            forwarding_loop_delay: SimDuration::ZERO,
+            forwarding_loop_window: SimDuration::ZERO,
+            balancer_flap_prob: 0.0,
+            balancer_flap_after: SimDuration::ZERO,
+        }
+    }
+}
+
+/// Campaign parameters (§3's setup).
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Measurement rounds (556 in the paper).
+    pub rounds: usize,
+    /// Parallel probing processes (32 in the paper).
+    pub shards: usize,
+    /// Per-trace parameters; defaults to the paper's.
+    pub trace: TraceConfig,
+    /// Routing dynamics.
+    pub dynamics: DynamicsConfig,
+    /// Campaign-level seed (ports, dynamics draws).
+    pub seed: u64,
+    /// When set, keep every measured route (memory-heavy; for debugging
+    /// and small runs only).
+    pub keep_routes: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            rounds: 25,
+            shards: 8,
+            trace: TraceConfig::paper(),
+            dynamics: DynamicsConfig::default(),
+            seed: 20061025, // the paper's publication date
+
+            keep_routes: false,
+        }
+    }
+}
+
+/// Campaign output: per-tool summaries plus the §4 attribution.
+#[derive(Debug)]
+pub struct CampaignResult {
+    /// Classic traceroute accumulator (for further analysis).
+    pub classic: CampaignAccumulator,
+    /// Paris traceroute accumulator.
+    pub paris: CampaignAccumulator,
+    /// Classic summary.
+    pub classic_report: ToolReport,
+    /// Paris summary.
+    pub paris_report: ToolReport,
+    /// The classic-vs-Paris attribution.
+    pub comparison: ComparisonReport,
+    /// Kept routes (tool, round, route), when requested.
+    pub routes: Vec<(StrategyId, usize, MeasuredRoute)>,
+    /// Virtual seconds of probing per shard, averaged.
+    pub mean_virtual_secs_per_shard: f64,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+struct ShardOutput {
+    classic: CampaignAccumulator,
+    paris: CampaignAccumulator,
+    routes: Vec<(StrategyId, usize, MeasuredRoute)>,
+    virtual_secs: f64,
+}
+
+/// Run a full side-by-side campaign over `net`.
+pub fn run(net: &SyntheticInternet, config: &CampaignConfig) -> CampaignResult {
+    assert!(config.shards >= 1 && config.rounds >= 1);
+    let shards: Vec<Vec<&DestInfo>> = (0..config.shards)
+        .map(|s| net.dests.iter().skip(s).step_by(config.shards).collect())
+        .collect();
+
+    let outputs: Vec<ShardOutput> = std::thread::scope(|scope| {
+        let handles: Vec<_> = shards
+            .iter()
+            .enumerate()
+            .map(|(shard_idx, dests)| {
+                let config = config.clone();
+                let topo = net.topology.clone();
+                let source = net.source;
+                scope.spawn(move || run_shard(shard_idx, dests, topo, source, &config))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("shard panicked")).collect()
+    });
+
+    let mut classic = CampaignAccumulator::new(StrategyId::ClassicUdp);
+    let mut paris = CampaignAccumulator::new(StrategyId::ParisUdp);
+    let mut routes = Vec::new();
+    let mut virt = 0.0;
+    let n = outputs.len() as f64;
+    for out in outputs {
+        classic.merge(out.classic);
+        paris.merge(out.paris);
+        routes.extend(out.routes);
+        virt += out.virtual_secs / n;
+    }
+    let classic_report = classic.report();
+    let paris_report = paris.report();
+    let comparison = compare(&classic, &paris);
+    CampaignResult {
+        classic,
+        paris,
+        classic_report,
+        paris_report,
+        comparison,
+        routes,
+        mean_virtual_secs_per_shard: virt,
+    }
+}
+
+fn run_shard(
+    shard_idx: usize,
+    dests: &[&DestInfo],
+    topo: std::sync::Arc<pt_netsim::Topology>,
+    source: pt_netsim::NodeId,
+    config: &CampaignConfig,
+) -> ShardOutput {
+    let mut rng = StdRng::seed_from_u64(splitmix64(config.seed ^ (shard_idx as u64 + 1)));
+    let sim = Simulator::new(topo.clone(), splitmix64(config.seed) ^ shard_idx as u64);
+    let mut tx = SimTransport::new(sim, source);
+    let mut classic_acc = CampaignAccumulator::new(StrategyId::ClassicUdp);
+    let mut paris_acc = CampaignAccumulator::new(StrategyId::ParisUdp);
+    let mut routes = Vec::new();
+
+    for round in 0..config.rounds {
+        for dest in dests {
+            // Routing events are exogenous: draw independently before
+            // each trace of the pair.
+            schedule_dynamics(&mut rng, &mut tx, dest, &topo, config);
+
+            // Paris traceroute first (§3 order), fixed random five-tuple.
+            let sp = rng.gen_range(10_000..=60_000);
+            let dp = rng.gen_range(10_000..=60_000);
+            let mut paris = ParisUdp::new(sp, dp);
+            let route = trace(&mut tx, &mut paris, dest.addr, config.trace);
+            paris_acc.ingest(round, &route);
+            if config.keep_routes {
+                routes.push((StrategyId::ParisUdp, round, route));
+            }
+
+            schedule_dynamics(&mut rng, &mut tx, dest, &topo, config);
+
+            // Then classic traceroute. Each trace is a fresh process in
+            // the study, so the PID — and with it the source port — is
+            // new every time; this is what lets classic explore different
+            // flow mappings across rounds.
+            let pid = rng.gen::<u16>() & 0x7fff;
+            let mut classic = ClassicUdp::new(pid);
+            let route = trace(&mut tx, &mut classic, dest.addr, config.trace);
+            classic_acc.ingest(round, &route);
+            if config.keep_routes {
+                routes.push((StrategyId::ClassicUdp, round, route));
+            }
+        }
+    }
+
+    ShardOutput {
+        classic: classic_acc,
+        paris: paris_acc,
+        routes,
+        virtual_secs: tx.now().as_secs_f64(),
+    }
+}
+
+/// Maybe schedule a transient forwarding loop or a balancer flap covering
+/// the upcoming pair of traces toward `dest`.
+fn schedule_dynamics(
+    rng: &mut StdRng,
+    tx: &mut SimTransport,
+    dest: &DestInfo,
+    topo: &pt_netsim::Topology,
+    config: &CampaignConfig,
+) {
+    let dyn_cfg = config.dynamics;
+    let now = tx.now();
+    if dyn_cfg.forwarding_loop_prob > 0.0
+        && dest.chain.len() >= 2
+        && rng.gen_bool(dyn_cfg.forwarding_loop_prob)
+    {
+        // Pick an adjacent, actually-linked pair along the chain.
+        let candidates: Vec<(pt_netsim::NodeId, pt_netsim::NodeId)> = dest
+            .chain
+            .windows(2)
+            .filter(|w| topo.iface_toward(w[0], w[1]).is_some())
+            .map(|w| (w[0], w[1]))
+            .collect();
+        if let Some(&(x, y)) = candidates.get(rng.gen_range(0..candidates.len().max(1))) {
+            let dst_pfx = pt_netsim::Ipv4Prefix::host(dest.addr);
+            let x_to_y = topo.iface_toward(x, y).unwrap();
+            let y_to_x = topo.iface_toward(y, x).unwrap();
+            let sim = tx.simulator_mut();
+            let start = now + dyn_cfg.forwarding_loop_delay;
+            sim.schedule_route_set(start, x, dst_pfx, Some(NextHop::Iface(x_to_y)));
+            sim.schedule_route_set(start, y, dst_pfx, Some(NextHop::Iface(y_to_x)));
+            let end = start + dyn_cfg.forwarding_loop_window;
+            sim.schedule_route_set(end, x, dst_pfx, None);
+            sim.schedule_route_set(end, y, dst_pfx, None);
+        }
+    }
+    if dyn_cfg.balancer_flap_prob > 0.0
+        && (dest.truth.per_flow_lb || dest.truth.per_packet_lb)
+        && rng.gen_bool(dyn_cfg.balancer_flap_prob)
+    {
+        // Find the balancer on this branch and rotate its egress list —
+        // every flow rehashes to a (generally) different path mid-trace.
+        for &node in &dest.chain {
+            let current = tx.simulator().routing_of(node).lookup(dest.addr).cloned();
+            if let Some(NextHop::Balanced { kind, mut egresses }) = current {
+                egresses.rotate_left(1);
+                let at = now + dyn_cfg.balancer_flap_after;
+                tx.simulator_mut().schedule_route_set(
+                    at,
+                    node,
+                    pt_netsim::Ipv4Prefix::DEFAULT,
+                    Some(NextHop::Balanced { kind, egresses }),
+                );
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_topogen::{generate, InternetConfig};
+
+    fn quick_config(rounds: usize) -> CampaignConfig {
+        CampaignConfig { rounds, shards: 4, seed: 99, ..CampaignConfig::default() }
+    }
+
+    #[test]
+    fn campaign_runs_and_counts_everything() {
+        let net = generate(&InternetConfig::tiny(42));
+        let result = run(&net, &quick_config(3));
+        assert_eq!(result.classic_report.rounds, 3);
+        assert_eq!(result.classic_report.routes_total, 3 * 40);
+        assert_eq!(result.paris_report.routes_total, 3 * 40);
+        assert_eq!(result.classic_report.destinations, 40);
+        assert!(result.classic_report.responses > 0);
+        assert!(result.mean_virtual_secs_per_shard > 0.0);
+    }
+
+    #[test]
+    fn campaign_is_deterministic() {
+        let net = generate(&InternetConfig::tiny(42));
+        let a = run(&net, &quick_config(2));
+        let b = run(&net, &quick_config(2));
+        assert_eq!(a.classic_report, b.classic_report);
+        assert_eq!(a.paris_report, b.paris_report);
+        assert_eq!(a.comparison, b.comparison);
+    }
+
+    #[test]
+    fn classic_sees_more_anomalies_than_paris() {
+        // The headline result, at small scale: a network dominated by
+        // per-flow load balancers gives classic traceroute loops and
+        // diamonds that Paris does not see.
+        let config = InternetConfig {
+            seed: 7,
+            n_destinations: 120,
+            per_flow_lb: 0.6,
+            lb_equal_weight: 0.3,
+            lb_delta1_weight: 0.5,
+            per_packet_lb: 0.0,
+            zero_ttl: 0.0,
+            broken: 0.0,
+            nat: 0.0,
+            firewalled_dest: 0.0,
+            silent_router: 0.0,
+            link_loss: 0.0,
+            ..InternetConfig::default()
+        };
+        let net = generate(&config);
+        let mut cc = quick_config(6);
+        cc.dynamics = DynamicsConfig::none();
+        let result = run(&net, &cc);
+        assert!(
+            result.classic_report.pct_routes_with_loop > 2.0,
+            "classic loop rate too low: {}",
+            result.classic_report.pct_routes_with_loop
+        );
+        assert!(
+            result.paris_report.pct_routes_with_loop < result.classic_report.pct_routes_with_loop / 5.0,
+            "paris {} vs classic {}",
+            result.paris_report.pct_routes_with_loop,
+            result.classic_report.pct_routes_with_loop
+        );
+        assert!(result.classic_report.diamonds_total > result.paris_report.diamonds_total);
+        // And the attribution says per-flow LB dominates.
+        let pf = result
+            .comparison
+            .loop_pct(pt_anomaly::stats::FinalLoopCause::PerFlowLoadBalancing);
+        assert!(pf > 80.0, "per-flow share {pf}");
+    }
+
+    #[test]
+    fn dynamics_generate_forwarding_loop_cycles() {
+        let config = InternetConfig {
+            seed: 21,
+            n_destinations: 80,
+            per_flow_lb: 0.0,
+            per_packet_lb: 0.0,
+            zero_ttl: 0.0,
+            broken: 0.0,
+            nat: 0.0,
+            firewalled_dest: 0.0,
+            silent_router: 0.0,
+            link_loss: 0.0,
+            branch_len_min: 3,
+            branch_len_max: 5,
+            ..InternetConfig::default()
+        };
+        let net = generate(&config);
+        let mut cc = quick_config(8);
+        cc.dynamics = DynamicsConfig {
+            forwarding_loop_prob: 0.2,
+            forwarding_loop_delay: SimDuration::from_millis(100),
+            forwarding_loop_window: SimDuration::from_secs(3),
+            balancer_flap_prob: 0.0,
+            balancer_flap_after: SimDuration::ZERO,
+        };
+        let result = run(&net, &cc);
+        assert!(
+            result.classic.cycle_instance_count() > 0,
+            "forced forwarding loops must produce cycles"
+        );
+        let fl = result
+            .comparison
+            .cycle_pct(pt_anomaly::stats::FinalCycleCause::ForwardingLoop);
+        assert!(fl > 30.0, "forwarding-loop share of cycles: {fl}");
+    }
+}

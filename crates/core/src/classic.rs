@@ -1,0 +1,202 @@
+//! Classic traceroute strategies — the tools whose anomalies the paper
+//! catalogues.
+
+use std::net::Ipv4Addr;
+
+use pt_wire::ipv4::{protocol, Ipv4Header};
+use pt_wire::{IcmpMessage, Packet, Transport as Wire, UdpDatagram};
+
+use crate::probe::{prefix_u16, quotation_for, ProbeStrategy, StrategyId};
+
+/// NetBSD traceroute 1.4a5 with UDP probes (§3):
+/// Source Port = PID + 32768 (constant), initial Destination Port 33435,
+/// **incremented with each probe** — which changes the five-tuple, so
+/// per-flow load balancers may send every probe down a different path.
+#[derive(Debug, Clone)]
+pub struct ClassicUdp {
+    /// Emulated process id.
+    pub pid: u16,
+    /// First Destination Port (NetBSD's default + the paper's setup).
+    pub base_port: u16,
+    /// Probe payload length in octets.
+    pub payload_len: usize,
+}
+
+impl ClassicUdp {
+    /// The paper's configuration for a given process id.
+    pub fn new(pid: u16) -> Self {
+        ClassicUdp { pid, base_port: 33435, payload_len: 12 }
+    }
+
+    fn src_port(&self) -> u16 {
+        self.pid.wrapping_add(32768) | 0x8000
+    }
+
+    fn dst_port(&self, probe_idx: u64) -> u16 {
+        self.base_port.wrapping_add(probe_idx as u16)
+    }
+}
+
+impl ProbeStrategy for ClassicUdp {
+    fn id(&self) -> StrategyId {
+        StrategyId::ClassicUdp
+    }
+
+    fn build_probe(&mut self, src: Ipv4Addr, dst: Ipv4Addr, ttl: u8, probe_idx: u64) -> Packet {
+        let ip = Ipv4Header::new(src, dst, protocol::UDP, ttl);
+        let udp = UdpDatagram::new(self.src_port(), self.dst_port(probe_idx), vec![0; self.payload_len]);
+        Packet::new(ip, Wire::Udp(udp))
+    }
+
+    fn match_response(&self, dst: Ipv4Addr, response: &Packet) -> Option<u64> {
+        let q = quotation_for(dst, response)?;
+        if q.ip.protocol != protocol::UDP {
+            return None;
+        }
+        if prefix_u16(&q.transport_prefix, 0) != self.src_port() {
+            return None;
+        }
+        let port = prefix_u16(&q.transport_prefix, 2);
+        Some(u64::from(port.wrapping_sub(self.base_port)))
+    }
+}
+
+/// Classic ICMP Echo traceroute: fixed Identifier (the PID), Sequence
+/// Number incremented per probe. Varying the sequence number varies the
+/// ICMP Checksum — which sits in the first four transport octets that
+/// per-flow load balancers hash.
+#[derive(Debug, Clone)]
+pub struct ClassicIcmp {
+    /// Emulated process id → Echo Identifier.
+    pub pid: u16,
+}
+
+impl ClassicIcmp {
+    /// Standard configuration.
+    pub fn new(pid: u16) -> Self {
+        ClassicIcmp { pid }
+    }
+}
+
+impl ProbeStrategy for ClassicIcmp {
+    fn id(&self) -> StrategyId {
+        StrategyId::ClassicIcmp
+    }
+
+    fn build_probe(&mut self, src: Ipv4Addr, dst: Ipv4Addr, ttl: u8, probe_idx: u64) -> Packet {
+        let ip = Ipv4Header::new(src, dst, protocol::ICMP, ttl);
+        let msg = IcmpMessage::echo_probe_classic(self.pid, probe_idx as u16);
+        Packet::new(ip, Wire::Icmp(msg))
+    }
+
+    fn match_response(&self, dst: Ipv4Addr, response: &Packet) -> Option<u64> {
+        // Terminal response: the destination's Echo Reply.
+        if let Wire::Icmp(IcmpMessage::EchoReply { identifier, seq, .. }) = &response.transport {
+            if response.ip.src == dst && *identifier == self.pid {
+                return Some(u64::from(*seq));
+            }
+            return None;
+        }
+        // Mid-path: quoted Echo Request. The quotation carries the ICMP
+        // header: Type(1) Code(1) Checksum(2) Identifier(2) Seq(2).
+        let q = quotation_for(dst, response)?;
+        if q.ip.protocol != protocol::ICMP || q.transport_prefix[0] != 8 {
+            return None;
+        }
+        if prefix_u16(&q.transport_prefix, 4) != self.pid {
+            return None;
+        }
+        Some(u64::from(prefix_u16(&q.transport_prefix, 6)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_wire::icmp::Quotation;
+    use pt_wire::FlowPolicy;
+
+    fn addrs() -> (Ipv4Addr, Ipv4Addr) {
+        (Ipv4Addr::new(10, 0, 1, 1), Ipv4Addr::new(192, 0, 2, 9))
+    }
+
+    fn time_exceeded_for(probe: &Packet, from: Ipv4Addr) -> Packet {
+        let q = Quotation::from_probe(probe.ip, &probe.transport_bytes());
+        let ip = Ipv4Header::new(from, probe.ip.src, protocol::ICMP, 250);
+        Packet::new(ip, Wire::Icmp(IcmpMessage::TimeExceeded { quotation: q }))
+    }
+
+    #[test]
+    fn classic_udp_round_trips_probe_identity() {
+        let (src, dst) = addrs();
+        let mut s = ClassicUdp::new(1234);
+        for idx in [0u64, 1, 7, 200] {
+            let probe = s.build_probe(src, dst, 5, idx);
+            let resp = time_exceeded_for(&probe, Ipv4Addr::new(10, 9, 9, 9));
+            assert_eq!(s.match_response(dst, &resp), Some(idx));
+        }
+    }
+
+    #[test]
+    fn classic_udp_varies_the_flow_identifier() {
+        let (src, dst) = addrs();
+        let mut s = ClassicUdp::new(1234);
+        let a = s.build_probe(src, dst, 5, 0);
+        let b = s.build_probe(src, dst, 6, 1);
+        assert!(!FlowPolicy::FiveTuple.same_flow(&a, &b), "the classic bug");
+        assert!(!FlowPolicy::FirstFourOctets.same_flow(&a, &b));
+    }
+
+    #[test]
+    fn classic_udp_rejects_foreign_responses() {
+        let (src, dst) = addrs();
+        let mut s = ClassicUdp::new(1234);
+        let mut other = ClassicUdp::new(4321);
+        let probe = other.build_probe(src, dst, 5, 3);
+        let resp = time_exceeded_for(&probe, Ipv4Addr::new(10, 9, 9, 9));
+        assert_eq!(s.match_response(dst, &resp), None, "different PID, different src port");
+        // And a quotation for a different destination is ignored.
+        let mine = s.build_probe(src, Ipv4Addr::new(198, 51, 100, 1), 5, 0);
+        let resp = time_exceeded_for(&mine, Ipv4Addr::new(10, 9, 9, 9));
+        assert_eq!(s.match_response(dst, &resp), None);
+    }
+
+    #[test]
+    fn classic_icmp_round_trips_probe_identity() {
+        let (src, dst) = addrs();
+        let mut s = ClassicIcmp::new(77);
+        for idx in [0u64, 3, 90] {
+            let probe = s.build_probe(src, dst, 5, idx);
+            let resp = time_exceeded_for(&probe, Ipv4Addr::new(10, 9, 9, 9));
+            assert_eq!(s.match_response(dst, &resp), Some(idx));
+        }
+    }
+
+    #[test]
+    fn classic_icmp_matches_echo_reply_from_destination() {
+        let (src, dst) = addrs();
+        let mut s = ClassicIcmp::new(77);
+        let probe = s.build_probe(src, dst, 30, 9);
+        // Destination echoes identifier and seq back.
+        let reply = Packet::new(
+            Ipv4Header::new(dst, probe.ip.src, protocol::ICMP, 60),
+            Wire::Icmp(IcmpMessage::EchoReply { identifier: 77, seq: 9, payload: vec![] }),
+        );
+        assert_eq!(s.match_response(dst, &reply), Some(9));
+        // A reply from elsewhere does not match.
+        let stray = Packet::new(
+            Ipv4Header::new(Ipv4Addr::new(1, 2, 3, 4), probe.ip.src, protocol::ICMP, 60),
+            Wire::Icmp(IcmpMessage::EchoReply { identifier: 77, seq: 9, payload: vec![] }),
+        );
+        assert_eq!(s.match_response(dst, &stray), None);
+    }
+
+    #[test]
+    fn classic_icmp_varies_the_flow_identifier() {
+        let (src, dst) = addrs();
+        let mut s = ClassicIcmp::new(77);
+        let a = s.build_probe(src, dst, 5, 0);
+        let b = s.build_probe(src, dst, 6, 1);
+        assert!(!FlowPolicy::FirstFourOctets.same_flow(&a, &b), "checksum drift");
+    }
+}

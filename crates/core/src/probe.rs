@@ -1,0 +1,126 @@
+//! The probing-strategy interface: build tagged probes, recognize their
+//! responses.
+//!
+//! A strategy owns the header arithmetic that distinguishes the tools the
+//! paper compares. The driver hands it a monotonically increasing probe
+//! index; the strategy encodes that index into whatever header field it
+//! uses as its per-probe identifier and must be able to recover it from a
+//! response — either from the ICMP quotation (Time Exceeded / Destination
+//! Unreachable quote the probe's IP header plus eight transport octets)
+//! or from a terminal response (Echo Reply, TCP SYN-ACK/RST).
+
+use std::net::Ipv4Addr;
+
+use pt_wire::icmp::Quotation;
+use pt_wire::{IcmpMessage, Packet, Transport as Wire};
+
+/// Which tool a strategy models — used in reports and comparisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrategyId {
+    /// NetBSD-style UDP traceroute (varying Destination Port).
+    ClassicUdp,
+    /// Classic ICMP Echo traceroute (varying Sequence Number).
+    ClassicIcmp,
+    /// Paris traceroute, UDP mode (pinned flow, Checksum identifier).
+    ParisUdp,
+    /// Paris traceroute, ICMP Echo mode (pinned checksum).
+    ParisIcmp,
+    /// Paris traceroute, TCP mode (Sequence Number identifier).
+    ParisTcp,
+    /// Toren's tcptraceroute (port 80, IP Identification identifier).
+    TcpTraceroute,
+}
+
+impl StrategyId {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyId::ClassicUdp => "classic-udp",
+            StrategyId::ClassicIcmp => "classic-icmp",
+            StrategyId::ParisUdp => "paris-udp",
+            StrategyId::ParisIcmp => "paris-icmp",
+            StrategyId::ParisTcp => "paris-tcp",
+            StrategyId::TcpTraceroute => "tcptraceroute",
+        }
+    }
+
+    /// Whether the tool keeps the flow identifier constant across probes
+    /// of one trace (the paper's criterion).
+    pub fn keeps_flow_constant(self) -> bool {
+        !matches!(self, StrategyId::ClassicUdp | StrategyId::ClassicIcmp)
+    }
+}
+
+impl core::fmt::Display for StrategyId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A probing strategy: stateless header arithmetic keyed by probe index.
+pub trait ProbeStrategy {
+    /// Which tool this is.
+    fn id(&self) -> StrategyId;
+
+    /// Build the probe for `probe_idx` with the given TTL.
+    fn build_probe(&mut self, src: Ipv4Addr, dst: Ipv4Addr, ttl: u8, probe_idx: u64) -> Packet;
+
+    /// If `response` answers one of our probes, return that probe's index.
+    fn match_response(&self, dst: Ipv4Addr, response: &Packet) -> Option<u64>;
+}
+
+/// Pull the quotation out of an ICMP error response, if the response is
+/// one and the quoted packet was ours (same destination).
+pub(crate) fn quotation_for<'p>(dst: Ipv4Addr, response: &'p Packet) -> Option<&'p Quotation> {
+    let q = match &response.transport {
+        Wire::Icmp(IcmpMessage::TimeExceeded { quotation }) => quotation,
+        Wire::Icmp(IcmpMessage::DestUnreachable { quotation, .. }) => quotation,
+        _ => return None,
+    };
+    (q.ip.dst == dst).then_some(q)
+}
+
+/// Read a big-endian u16 out of a quoted transport prefix.
+pub(crate) fn prefix_u16(prefix: &[u8; 8], offset: usize) -> u16 {
+    u16::from_be_bytes([prefix[offset], prefix[offset + 1]])
+}
+
+/// Read a big-endian u32 out of a quoted transport prefix.
+pub(crate) fn prefix_u32(prefix: &[u8; 8], offset: usize) -> u32 {
+    u32::from_be_bytes([prefix[offset], prefix[offset + 1], prefix[offset + 2], prefix[offset + 3]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_have_names_and_flow_constancy() {
+        let all = [
+            StrategyId::ClassicUdp,
+            StrategyId::ClassicIcmp,
+            StrategyId::ParisUdp,
+            StrategyId::ParisIcmp,
+            StrategyId::ParisTcp,
+            StrategyId::TcpTraceroute,
+        ];
+        let mut names = std::collections::HashSet::new();
+        for id in all {
+            assert!(names.insert(id.name()), "duplicate name {}", id.name());
+        }
+        assert!(!StrategyId::ClassicUdp.keeps_flow_constant());
+        assert!(!StrategyId::ClassicIcmp.keeps_flow_constant());
+        assert!(StrategyId::ParisUdp.keeps_flow_constant());
+        assert!(StrategyId::ParisIcmp.keeps_flow_constant());
+        assert!(StrategyId::ParisTcp.keeps_flow_constant());
+        assert!(StrategyId::TcpTraceroute.keeps_flow_constant());
+    }
+
+    #[test]
+    fn prefix_readers() {
+        let prefix = [0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde, 0xf0];
+        assert_eq!(prefix_u16(&prefix, 0), 0x1234);
+        assert_eq!(prefix_u16(&prefix, 6), 0xdef0);
+        assert_eq!(prefix_u32(&prefix, 4), 0x9abc_def0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Measured routes: what a traceroute run produces and what the anomaly
+//! analysis consumes.
+//!
+//! §4 defines a measured route as the tuple `R = (r0, ..., rℓ)` where
+//! `r0` is the source address and `ri` is the address answering at TTL
+//! `i`, or a star. [`MeasuredRoute::addresses`] yields exactly that view;
+//! the richer per-probe records keep the Paris side information (probe
+//! TTL, response TTL, IP ID, unreachable flags) the classifiers need.
+
+use std::net::Ipv4Addr;
+
+use pt_netsim::time::SimDuration;
+use pt_wire::UnreachableCode;
+
+use crate::probe::StrategyId;
+
+/// What kind of response a probe drew.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseKind {
+    /// ICMP Time Exceeded — the normal mid-path answer.
+    TimeExceeded,
+    /// ICMP Destination Unreachable. `Port` is the normal UDP trace end;
+    /// `Host`/`Network` print as `!H`/`!N` and signal trouble.
+    Unreachable(UnreachableCode),
+    /// ICMP Echo Reply — ICMP trace reached the destination.
+    EchoReply,
+    /// TCP SYN-ACK or RST — TCP trace reached the destination.
+    TcpReply,
+}
+
+impl ResponseKind {
+    /// Whether this response terminates a trace (paper §3: any
+    /// Destination Unreachable halts immediately; terminal replies too).
+    pub fn terminates(&self) -> bool {
+        !matches!(self, ResponseKind::TimeExceeded)
+    }
+
+    /// Whether traceroute would print an unreachable flag (`!H`/`!N`)
+    /// for it — the §4.1 "Unreachability message" loop marker.
+    pub fn unreachable_flag(&self) -> Option<UnreachableCode> {
+        match self {
+            ResponseKind::Unreachable(c @ (UnreachableCode::Host | UnreachableCode::Network)) => {
+                Some(*c)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The outcome of one probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeResult {
+    /// Responding address, or `None` for a star.
+    pub addr: Option<Ipv4Addr>,
+    /// Round-trip time, when a response arrived.
+    pub rtt: Option<SimDuration>,
+    /// Response type.
+    pub kind: Option<ResponseKind>,
+    /// The quoted probe TTL — §2.2's anomaly signal (1 is normal, 0 means
+    /// zero-TTL forwarding upstream). Only ICMP errors carry it.
+    pub probe_ttl: Option<u8>,
+    /// TTL of the response packet on arrival — length of the return path.
+    pub response_ttl: Option<u8>,
+    /// IP Identification of the response — the router's internal counter.
+    pub ip_id: Option<u16>,
+}
+
+impl ProbeResult {
+    /// A probe that timed out.
+    pub const STAR: ProbeResult = ProbeResult {
+        addr: None,
+        rtt: None,
+        kind: None,
+        probe_ttl: None,
+        response_ttl: None,
+        ip_id: None,
+    };
+
+    /// Whether this probe got no answer.
+    pub fn is_star(&self) -> bool {
+        self.addr.is_none()
+    }
+}
+
+/// All probes sent at one TTL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hop {
+    /// The TTL probed.
+    pub ttl: u8,
+    /// One entry per probe (the study sends one probe per hop; classic
+    /// traceroute defaults to three).
+    pub probes: Vec<ProbeResult>,
+}
+
+impl Hop {
+    /// The address reported for the hop in the `(r1, ..., rℓ)` view: the
+    /// first responding probe, if any.
+    pub fn first_addr(&self) -> Option<Ipv4Addr> {
+        self.probes.iter().find_map(|p| p.addr)
+    }
+
+    /// All distinct responding addresses at this hop.
+    pub fn addrs(&self) -> Vec<Ipv4Addr> {
+        let mut out: Vec<Ipv4Addr> = Vec::new();
+        for p in &self.probes {
+            if let Some(a) = p.addr {
+                if !out.contains(&a) {
+                    out.push(a);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether every probe at this hop timed out.
+    pub fn all_stars(&self) -> bool {
+        self.probes.iter().all(ProbeResult::is_star)
+    }
+}
+
+/// Why a trace stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaltReason {
+    /// A terminal response arrived (destination reached, or any
+    /// Destination Unreachable).
+    Terminal,
+    /// Too many consecutive fully-star hops (8 in the study).
+    StarLimit,
+    /// The 39-hop ceiling.
+    MaxTtl,
+}
+
+/// One traceroute's output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeasuredRoute {
+    /// The tool that produced the route.
+    pub strategy: StrategyId,
+    /// Source address (`r0`).
+    pub source: Ipv4Addr,
+    /// Destination probed.
+    pub destination: Ipv4Addr,
+    /// First TTL probed (the study sets 2 to skip university routers).
+    pub min_ttl: u8,
+    /// Per-TTL results, `hops[0]` at `min_ttl`.
+    pub hops: Vec<Hop>,
+    /// Why the trace ended.
+    pub halt: HaltReason,
+}
+
+impl MeasuredRoute {
+    /// §4's measured-route view: `ri` per probed TTL (first probe's
+    /// address or star), excluding `r0`.
+    pub fn addresses(&self) -> Vec<Option<Ipv4Addr>> {
+        self.hops.iter().map(Hop::first_addr).collect()
+    }
+
+    /// Whether the destination itself answered.
+    pub fn reached_destination(&self) -> bool {
+        self.hops.iter().flat_map(|h| &h.probes).any(|p| {
+            p.addr == Some(self.destination)
+                && matches!(
+                    p.kind,
+                    Some(
+                        ResponseKind::EchoReply
+                            | ResponseKind::TcpReply
+                            | ResponseKind::Unreachable(UnreachableCode::Port)
+                    )
+                )
+        })
+    }
+
+    /// Total probes sent.
+    pub fn probes_sent(&self) -> usize {
+        self.hops.iter().map(|h| h.probes.len()).sum()
+    }
+
+    /// Total stars observed.
+    pub fn stars(&self) -> usize {
+        self.hops.iter().flat_map(|h| &h.probes).filter(|p| p.is_star()).count()
+    }
+
+    /// Stars that appear *before* the last responding hop — the §3
+    /// "stars in the midst of responses" statistic.
+    pub fn mid_route_stars(&self) -> usize {
+        let last_responding =
+            self.hops.iter().rposition(|h| !h.all_stars()).unwrap_or(0);
+        self.hops[..last_responding]
+            .iter()
+            .flat_map(|h| &h.probes)
+            .filter(|p| p.is_star())
+            .count()
+    }
+
+    /// The hop index (not TTL) where the destination answered, if any.
+    pub fn destination_hop(&self) -> Option<usize> {
+        self.hops.iter().position(|h| h.probes.iter().any(|p| p.addr == Some(self.destination)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(x: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, x)
+    }
+
+    fn reply(a: u8) -> ProbeResult {
+        ProbeResult {
+            addr: Some(addr(a)),
+            rtt: Some(SimDuration::from_millis(5)),
+            kind: Some(ResponseKind::TimeExceeded),
+            probe_ttl: Some(1),
+            response_ttl: Some(250),
+            ip_id: Some(7),
+        }
+    }
+
+    fn route(hops: Vec<Hop>) -> MeasuredRoute {
+        MeasuredRoute {
+            strategy: StrategyId::ParisUdp,
+            source: addr(1),
+            destination: addr(99),
+            min_ttl: 1,
+            hops,
+            halt: HaltReason::MaxTtl,
+        }
+    }
+
+    #[test]
+    fn addresses_view_uses_first_responding_probe() {
+        let hops = vec![
+            Hop { ttl: 1, probes: vec![reply(2)] },
+            Hop { ttl: 2, probes: vec![ProbeResult::STAR, reply(3)] },
+            Hop { ttl: 3, probes: vec![ProbeResult::STAR] },
+        ];
+        let r = route(hops);
+        assert_eq!(r.addresses(), vec![Some(addr(2)), Some(addr(3)), None]);
+    }
+
+    #[test]
+    fn star_accounting_distinguishes_mid_route_from_trailing() {
+        let hops = vec![
+            Hop { ttl: 1, probes: vec![reply(2)] },
+            Hop { ttl: 2, probes: vec![ProbeResult::STAR] },
+            Hop { ttl: 3, probes: vec![reply(4)] },
+            Hop { ttl: 4, probes: vec![ProbeResult::STAR] },
+            Hop { ttl: 5, probes: vec![ProbeResult::STAR] },
+        ];
+        let r = route(hops);
+        assert_eq!(r.stars(), 3);
+        assert_eq!(r.mid_route_stars(), 1, "only the hop-2 star is mid-route");
+    }
+
+    #[test]
+    fn reached_destination_requires_terminal_kind() {
+        let mut term = reply(99);
+        term.kind = Some(ResponseKind::Unreachable(UnreachableCode::Port));
+        let r = route(vec![Hop { ttl: 1, probes: vec![term] }]);
+        assert!(r.reached_destination());
+        assert_eq!(r.destination_hop(), Some(0));
+        // A Time Exceeded from the destination address does not count.
+        let r2 = route(vec![Hop { ttl: 1, probes: vec![reply(99)] }]);
+        assert!(!r2.reached_destination());
+    }
+
+    #[test]
+    fn response_kind_semantics() {
+        assert!(!ResponseKind::TimeExceeded.terminates());
+        assert!(ResponseKind::EchoReply.terminates());
+        assert!(ResponseKind::Unreachable(UnreachableCode::Port).terminates());
+        assert_eq!(
+            ResponseKind::Unreachable(UnreachableCode::Host).unreachable_flag(),
+            Some(UnreachableCode::Host)
+        );
+        assert_eq!(ResponseKind::Unreachable(UnreachableCode::Port).unreachable_flag(), None);
+        assert_eq!(ResponseKind::TimeExceeded.unreachable_flag(), None);
+    }
+
+    #[test]
+    fn hop_addrs_dedup_preserving_order() {
+        let h = Hop { ttl: 3, probes: vec![reply(5), reply(6), reply(5)] };
+        assert_eq!(h.addrs(), vec![addr(5), addr(6)]);
+        assert!(!h.all_stars());
+        assert!(Hop { ttl: 1, probes: vec![ProbeResult::STAR] }.all_stars());
+    }
+}

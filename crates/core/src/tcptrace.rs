@@ -1,0 +1,144 @@
+//! Toren's tcptraceroute (§2.2, §5): TCP SYN probes to port 80 with the
+//! **IP Identification** field as the per-probe identifier.
+//!
+//! Not innovative in the Paris sense — it already keeps a constant flow
+//! identifier as a side effect of fixing both ports — but the paper notes
+//! nobody had examined that property's effect on load balancing before.
+
+use std::net::Ipv4Addr;
+
+use pt_wire::ipv4::{protocol, Ipv4Header};
+use pt_wire::tcp::flags as tcp_flags;
+use pt_wire::{Packet, TcpSegment, Transport as Wire};
+
+use crate::probe::{prefix_u16, quotation_for, ProbeStrategy, StrategyId};
+
+/// tcptraceroute: SYN to port 80, varying IP Identification.
+#[derive(Debug, Clone)]
+pub struct TcpTraceroute {
+    /// Fixed source port.
+    pub src_port: u16,
+    /// Fixed destination port (80 by default).
+    pub dst_port: u16,
+    /// Fixed TCP sequence number (tcptraceroute does not vary it).
+    pub seq: u32,
+    /// Base for the IP Identification identifier.
+    pub base_ident: u16,
+}
+
+impl TcpTraceroute {
+    /// Defaults emulating the real tool.
+    pub fn new(src_port: u16) -> Self {
+        TcpTraceroute { src_port, dst_port: 80, seq: 0xdead_0000, base_ident: 0x4000 }
+    }
+}
+
+impl ProbeStrategy for TcpTraceroute {
+    fn id(&self) -> StrategyId {
+        StrategyId::TcpTraceroute
+    }
+
+    fn build_probe(&mut self, src: Ipv4Addr, dst: Ipv4Addr, ttl: u8, probe_idx: u64) -> Packet {
+        let mut ip = Ipv4Header::new(src, dst, protocol::TCP, ttl);
+        ip.identification = self.base_ident.wrapping_add(probe_idx as u16);
+        let seg = TcpSegment::syn_probe(self.src_port, self.dst_port, self.seq);
+        Packet::new(ip, Wire::Tcp(seg))
+    }
+
+    fn match_response(&self, dst: Ipv4Addr, response: &Packet) -> Option<u64> {
+        // Terminal SYN-ACK / RST from the destination. The IP ID of *our
+        // probe* is gone here; tcptraceroute matches on the port pair and
+        // ack. We cannot recover the probe index, so attribute it to the
+        // ack relation (seq is constant → ack = seq + 1 for every probe);
+        // return a sentinel the driver resolves to "current probe".
+        if let Wire::Tcp(seg) = &response.transport {
+            if response.ip.src == dst
+                && seg.src_port == self.dst_port
+                && seg.dst_port == self.src_port
+                && seg.control & (tcp_flags::SYN | tcp_flags::RST) != 0
+                && seg.ack == self.seq.wrapping_add(1)
+            {
+                return Some(CURRENT_PROBE);
+            }
+            return None;
+        }
+        let q = quotation_for(dst, response)?;
+        if q.ip.protocol != protocol::TCP {
+            return None;
+        }
+        if prefix_u16(&q.transport_prefix, 0) != self.src_port
+            || prefix_u16(&q.transport_prefix, 2) != self.dst_port
+        {
+            return None;
+        }
+        // The identifier lives in the quoted IP header, not the transport
+        // prefix — the reason tcptraceroute must inspect quoted IP bytes.
+        Some(u64::from(q.ip.identification.wrapping_sub(self.base_ident)))
+    }
+}
+
+/// Sentinel index meaning "whatever probe is currently outstanding" —
+/// used when the response genuinely cannot identify the probe (terminal
+/// TCP responses echo no probe-unique field when `seq` is constant).
+pub const CURRENT_PROBE: u64 = u64::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pt_wire::icmp::{IcmpMessage, Quotation};
+
+    fn addrs() -> (Ipv4Addr, Ipv4Addr) {
+        (Ipv4Addr::new(10, 0, 1, 1), Ipv4Addr::new(192, 0, 2, 9))
+    }
+
+    fn time_exceeded_for(probe: &Packet, from: Ipv4Addr) -> Packet {
+        let q = Quotation::from_probe(probe.ip, &probe.transport_bytes());
+        let ip = Ipv4Header::new(from, probe.ip.src, protocol::ICMP, 250);
+        Packet::new(ip, Wire::Icmp(IcmpMessage::TimeExceeded { quotation: q }))
+    }
+
+    #[test]
+    fn identifies_probes_by_quoted_ip_identification() {
+        let (src, dst) = addrs();
+        let mut s = TcpTraceroute::new(50123);
+        for idx in [0u64, 5, 31] {
+            let probe = s.build_probe(src, dst, 6, idx);
+            assert_eq!(probe.ip.identification, s.base_ident.wrapping_add(idx as u16));
+            let resp = time_exceeded_for(&probe, Ipv4Addr::new(10, 7, 7, 7));
+            assert_eq!(s.match_response(dst, &resp), Some(idx));
+        }
+    }
+
+    #[test]
+    fn terminal_response_yields_current_probe_sentinel() {
+        let (src, dst) = addrs();
+        let s = TcpTraceroute::new(50123);
+        let mut synack = TcpSegment::syn_probe(80, 50123, 0);
+        synack.ack = s.seq.wrapping_add(1);
+        synack.control = tcp_flags::SYN | tcp_flags::ACK;
+        let reply = Packet::new(Ipv4Header::new(dst, src, protocol::TCP, 60), Wire::Tcp(synack));
+        assert_eq!(s.match_response(dst, &reply), Some(CURRENT_PROBE));
+    }
+
+    #[test]
+    fn keeps_flow_constant() {
+        use pt_wire::FlowPolicy;
+        let (src, dst) = addrs();
+        let mut s = TcpTraceroute::new(50123);
+        let a = s.build_probe(src, dst, 5, 0);
+        let b = s.build_probe(src, dst, 9, 17);
+        for policy in FlowPolicy::ALL {
+            assert!(policy.same_flow(&a, &b), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_ports() {
+        let (src, dst) = addrs();
+        let mut s = TcpTraceroute::new(50123);
+        let mut other = TcpTraceroute::new(50999);
+        let probe = other.build_probe(src, dst, 5, 2);
+        let resp = time_exceeded_for(&probe, Ipv4Addr::new(10, 7, 7, 7));
+        assert_eq!(s.match_response(dst, &resp), None);
+    }
+}

@@ -1,0 +1,400 @@
+//! The sans-IO traceroute driver.
+//!
+//! Reproduces the study's probing discipline (§3): one probe per hop
+//! (configurable to classic traceroute's three), up to two seconds'
+//! wait per probe, immediate halt on any Destination Unreachable or
+//! terminal reply, a ceiling of 39 hops, and abandonment after eight
+//! consecutive unanswered hops.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use pt_netsim::time::{SimDuration, SimTime};
+use pt_netsim::SimTransport;
+use pt_wire::{IcmpMessage, Packet, Transport as Wire};
+
+use crate::probe::ProbeStrategy;
+use crate::route::{HaltReason, Hop, MeasuredRoute, ProbeResult, ResponseKind};
+use crate::tcptrace::CURRENT_PROBE;
+
+/// The packet I/O a tracer needs. `pt-netsim`'s [`SimTransport`]
+/// implements it over virtual time; a raw-socket transport would
+/// implement it over wall-clock time.
+pub trait Transport {
+    /// Current time.
+    fn now(&self) -> SimTime;
+    /// The local address probes carry as their source.
+    fn source_addr(&self) -> Ipv4Addr;
+    /// Transmit a probe.
+    fn send(&mut self, packet: Packet);
+    /// Block until the next inbound packet or `deadline`, whichever is
+    /// first. `None` means the deadline passed silently.
+    fn recv_until(&mut self, deadline: SimTime) -> Option<(SimTime, Packet)>;
+}
+
+impl Transport for SimTransport {
+    fn now(&self) -> SimTime {
+        SimTransport::now(self)
+    }
+
+    fn source_addr(&self) -> Ipv4Addr {
+        SimTransport::source_addr(self)
+    }
+
+    fn send(&mut self, packet: Packet) {
+        SimTransport::send(self, packet)
+    }
+
+    fn recv_until(&mut self, deadline: SimTime) -> Option<(SimTime, Packet)> {
+        SimTransport::recv_until(self, deadline)
+    }
+}
+
+/// Traceroute parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// First TTL probed. The study uses 2 to skip the university network.
+    pub min_ttl: u8,
+    /// Last TTL probed ("no trace extends further than 39 hops", §3).
+    pub max_ttl: u8,
+    /// Probes per hop: 1 in the study, 3 in classic traceroute defaults.
+    pub probes_per_hop: u8,
+    /// Per-probe response timeout (2 s in the study).
+    pub timeout: SimDuration,
+    /// Abandon after this many consecutive all-star hops (8 in the study).
+    pub max_consecutive_stars: u8,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            min_ttl: 1,
+            max_ttl: 39,
+            probes_per_hop: 1,
+            timeout: SimDuration::from_secs(2),
+            max_consecutive_stars: 8,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Exactly the study's parameters (§3), including `min_ttl = 2`.
+    pub fn paper() -> Self {
+        TraceConfig { min_ttl: 2, ..Self::default() }
+    }
+
+    /// Classic traceroute's three-probes-per-hop default — the mode that
+    /// makes diamonds visible within a single trace.
+    pub fn three_probes() -> Self {
+        TraceConfig { probes_per_hop: 3, ..Self::default() }
+    }
+}
+
+/// Classify a response packet and extract the Paris side information.
+fn classify(resp: &Packet) -> (ResponseKind, Option<u8>) {
+    match &resp.transport {
+        Wire::Icmp(IcmpMessage::TimeExceeded { quotation }) => {
+            (ResponseKind::TimeExceeded, Some(quotation.ip.ttl))
+        }
+        Wire::Icmp(IcmpMessage::DestUnreachable { code, quotation }) => {
+            (ResponseKind::Unreachable(*code), Some(quotation.ip.ttl))
+        }
+        Wire::Icmp(_) => (ResponseKind::EchoReply, None),
+        Wire::Tcp(_) => (ResponseKind::TcpReply, None),
+        Wire::Udp(_) => (ResponseKind::TcpReply, None), // not produced by responders
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Outstanding {
+    hop: usize,
+    slot: usize,
+    sent: SimTime,
+}
+
+/// Run one traceroute toward `destination` with the given strategy.
+pub fn trace<T: Transport>(
+    transport: &mut T,
+    strategy: &mut dyn ProbeStrategy,
+    destination: Ipv4Addr,
+    config: TraceConfig,
+) -> MeasuredRoute {
+    let source = transport.source_addr();
+    let mut hops: Vec<Hop> = Vec::new();
+    let mut registry: HashMap<u64, Outstanding> = HashMap::new();
+    let mut probe_idx: u64 = 0;
+    let mut consecutive_stars: u8 = 0;
+    let mut halt = HaltReason::MaxTtl;
+
+    'ttl_loop: for ttl in config.min_ttl..=config.max_ttl {
+        let hop_index = hops.len();
+        hops.push(Hop {
+            ttl,
+            probes: vec![ProbeResult::STAR; usize::from(config.probes_per_hop)],
+        });
+        for slot in 0..usize::from(config.probes_per_hop) {
+            let idx = probe_idx;
+            probe_idx += 1;
+            let packet = strategy.build_probe(source, destination, ttl, idx);
+            let sent = transport.now();
+            registry.insert(idx, Outstanding { hop: hop_index, slot, sent });
+            transport.send(packet);
+            let deadline = sent + config.timeout;
+            let mut saw_terminal = false;
+            while let Some((at, resp)) = transport.recv_until(deadline) {
+                let Some(matched) = strategy.match_response(destination, &resp) else {
+                    continue; // stray packet; keep waiting
+                };
+                let matched = if matched == CURRENT_PROBE { idx } else { matched };
+                let Some(slot_info) = registry.remove(&matched) else {
+                    continue; // duplicate or unknown probe id
+                };
+                let (kind, probe_ttl) = classify(&resp);
+                hops[slot_info.hop].probes[slot_info.slot] = ProbeResult {
+                    addr: Some(resp.ip.src),
+                    rtt: Some(at.since(slot_info.sent)),
+                    kind: Some(kind),
+                    probe_ttl,
+                    response_ttl: Some(resp.ip.ttl),
+                    ip_id: Some(resp.ip.identification),
+                };
+                if kind.terminates() {
+                    saw_terminal = true;
+                }
+                if matched == idx {
+                    break; // current probe answered; next probe or hop
+                }
+            }
+            if saw_terminal {
+                halt = HaltReason::Terminal;
+                break 'ttl_loop;
+            }
+        }
+        if hops[hop_index].all_stars() {
+            consecutive_stars += 1;
+            if consecutive_stars > config.max_consecutive_stars {
+                halt = HaltReason::StarLimit;
+                break;
+            }
+        } else {
+            consecutive_stars = 0;
+        }
+    }
+
+    MeasuredRoute {
+        strategy: strategy.id(),
+        source,
+        destination,
+        min_ttl: config.min_ttl,
+        hops,
+        halt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classic::ClassicUdp;
+    use crate::paris::{ParisIcmp, ParisTcp, ParisUdp};
+    use crate::tcptrace::TcpTraceroute;
+    use pt_netsim::scenarios;
+    use pt_netsim::Simulator;
+    use pt_wire::UnreachableCode;
+
+    fn transport(sc: &scenarios::Scenario, seed: u64) -> SimTransport {
+        SimTransport::new(Simulator::new(sc.topology.clone(), seed), sc.source)
+    }
+
+    #[test]
+    fn paris_udp_traces_a_linear_chain_end_to_end() {
+        let sc = scenarios::linear(6);
+        let mut tx = transport(&sc, 1);
+        let mut strat = ParisUdp::new(41000, 52000);
+        let route = trace(&mut tx, &mut strat, sc.destination, TraceConfig::default());
+        assert_eq!(route.halt, HaltReason::Terminal);
+        assert!(route.reached_destination());
+        assert_eq!(route.hops.len(), 7, "6 routers + destination");
+        let addrs = route.addresses();
+        assert!(addrs.iter().all(Option::is_some), "no stars on a healthy chain");
+        assert_eq!(addrs[6], Some(sc.destination));
+        // Every mid-path response is a normal probe-TTL-1 Time Exceeded.
+        for hop in &route.hops[..6] {
+            assert_eq!(hop.probes[0].kind, Some(ResponseKind::TimeExceeded));
+            assert_eq!(hop.probes[0].probe_ttl, Some(1));
+        }
+        // The terminal hop is Port Unreachable.
+        assert_eq!(
+            route.hops[6].probes[0].kind,
+            Some(ResponseKind::Unreachable(UnreachableCode::Port))
+        );
+    }
+
+    #[test]
+    fn all_strategies_complete_a_linear_chain() {
+        let sc = scenarios::linear(5);
+        let strategies: Vec<Box<dyn ProbeStrategy>> = vec![
+            Box::new(ClassicUdp::new(321)),
+            Box::new(crate::classic::ClassicIcmp::new(321)),
+            Box::new(ParisUdp::new(40001, 50001)),
+            Box::new(ParisIcmp::new(0x7777)),
+            Box::new(ParisTcp::new(55001)),
+            Box::new(TcpTraceroute::new(55002)),
+        ];
+        for mut strat in strategies {
+            let mut tx = transport(&sc, 99);
+            let route = trace(&mut tx, strat.as_mut(), sc.destination, TraceConfig::default());
+            assert_eq!(
+                route.halt,
+                HaltReason::Terminal,
+                "strategy {} did not finish",
+                strat.id()
+            );
+            assert!(route.reached_destination(), "strategy {}", strat.id());
+            assert_eq!(route.hops.len(), 6, "strategy {}", strat.id());
+        }
+    }
+
+    #[test]
+    fn paris_keeps_one_path_through_fig1_classic_may_mix() {
+        let sc = scenarios::fig1(pt_netsim::BalancerKind::PerFlow(pt_wire::FlowPolicy::FiveTuple));
+        // Paris: one flow → a consistent physical path, so hops 7/8 are
+        // (A, *) or (*, D) — never (A, D).
+        for seed in 0..8 {
+            let mut tx = transport(&sc, seed);
+            let mut strat = ParisUdp::new(41000 + seed as u16, 52000);
+            let route = trace(&mut tx, &mut strat, sc.destination, TraceConfig::default());
+            let a = route.addresses();
+            // hops index: 0-based from ttl 1 → hop7 = index 6, hop8 = 7.
+            let pair = (a[6], a[7]);
+            assert!(
+                pair == (Some(sc.a("A")), None) || pair == (None, Some(sc.a("D"))),
+                "Paris mixed paths at seed {seed}: {pair:?}"
+            );
+        }
+        // Classic: across source ports, some trace shows the impossible
+        // (A, D) adjacency — the false link.
+        let mut saw_false_link = false;
+        for pid in 0..64 {
+            let mut tx = transport(&sc, 1000 + pid as u64);
+            let mut strat = ClassicUdp::new(pid);
+            let route = trace(&mut tx, &mut strat, sc.destination, TraceConfig::default());
+            let a = route.addresses();
+            if a[6] == Some(sc.a("A")) && a[7] == Some(sc.a("D")) {
+                saw_false_link = true;
+                break;
+            }
+        }
+        assert!(saw_false_link, "classic traceroute should infer the false link A→D");
+    }
+
+    #[test]
+    fn unreachability_halts_with_flag() {
+        let sc = scenarios::unreachability_loop();
+        let mut tx = transport(&sc, 1);
+        let mut strat = ParisUdp::new(41000, 52000);
+        let route = trace(&mut tx, &mut strat, sc.destination, TraceConfig::default());
+        assert_eq!(route.halt, HaltReason::Terminal);
+        let last = route.hops.last().unwrap();
+        assert_eq!(
+            last.probes[0].kind.unwrap().unreachable_flag(),
+            Some(UnreachableCode::Host),
+            "!H flag"
+        );
+        // The loop: hop 6 and hop 7 both show U.
+        let a = route.addresses();
+        assert_eq!(a[5], a[6]);
+        assert!(!route.reached_destination());
+    }
+
+    #[test]
+    fn star_limit_abandons_unresponsive_tail() {
+        // A destination that never answers UDP: after the last router, 8
+        // consecutive stars and give up.
+        let mut b = pt_netsim::TopologyBuilder::new();
+        let s = b.host("S", pt_netsim::HostConfig::default());
+        let r = b.router("r", pt_netsim::RouterConfig::default());
+        let d = b.host("D", pt_netsim::HostConfig::firewalled());
+        b.link(s, r, SimDuration::from_millis(1), 0.0);
+        b.link(r, d, SimDuration::from_millis(1), 0.0);
+        b.default_via(s, r);
+        b.default_via(r, d);
+        b.default_via(d, r);
+        let s_pfx = b.subnet_of(s);
+        b.route_via(r, s_pfx, s);
+        let dst = b.addr_of(d);
+        let topo = std::sync::Arc::new(b.build());
+        let mut tx = SimTransport::new(Simulator::new(topo, 1), s);
+        let mut strat = ParisUdp::new(41000, 52000);
+        let route = trace(&mut tx, &mut strat, dst, TraceConfig::default());
+        assert_eq!(route.halt, HaltReason::StarLimit);
+        assert_eq!(route.hops.len(), 1 + 9, "router + 9 star hops (limit 8 exceeded)");
+        assert!(!route.reached_destination());
+        assert_eq!(route.stars(), 9);
+        assert_eq!(route.mid_route_stars(), 0, "all stars are trailing");
+    }
+
+    #[test]
+    fn paper_config_skips_hop_one() {
+        let sc = scenarios::linear(4);
+        let mut tx = transport(&sc, 1);
+        let mut strat = ParisUdp::new(41000, 52000);
+        let route = trace(&mut tx, &mut strat, sc.destination, TraceConfig::paper());
+        assert_eq!(route.min_ttl, 2);
+        assert_eq!(route.hops[0].ttl, 2);
+        assert_eq!(route.hops.len(), 4, "hops 2..=5");
+    }
+
+    #[test]
+    fn three_probe_config_records_three_results_per_hop() {
+        let sc = scenarios::linear(3);
+        let mut tx = transport(&sc, 1);
+        let mut strat = ClassicUdp::new(7);
+        let route = trace(&mut tx, &mut strat, sc.destination, TraceConfig::three_probes());
+        for hop in &route.hops[..route.hops.len() - 1] {
+            assert_eq!(hop.probes.len(), 3);
+            assert!(hop.probes.iter().all(|p| !p.is_star()));
+        }
+    }
+
+    #[test]
+    fn rtt_increases_along_the_path() {
+        let sc = scenarios::linear(5);
+        let mut tx = transport(&sc, 1);
+        let mut strat = ParisUdp::new(41000, 52000);
+        let route = trace(&mut tx, &mut strat, sc.destination, TraceConfig::default());
+        let rtts: Vec<_> = route.hops.iter().map(|h| h.probes[0].rtt.unwrap()).collect();
+        for w in rtts.windows(2) {
+            assert!(w[0] < w[1], "RTT must grow with distance: {rtts:?}");
+        }
+    }
+
+    #[test]
+    fn zero_ttl_forwarding_surfaces_in_probe_ttl() {
+        let sc = scenarios::fig4();
+        let mut tx = transport(&sc, 1);
+        let mut strat = ParisUdp::new(41000, 52000);
+        let route = trace(&mut tx, &mut strat, sc.destination, TraceConfig::default());
+        let a = route.addresses();
+        // Hops 7 and 8 (indices 6, 7) both show A...
+        assert_eq!(a[6], Some(sc.a("A")));
+        assert_eq!(a[7], Some(sc.a("A")));
+        // ...but the probe TTLs distinguish the cause: 0 then 1.
+        assert_eq!(route.hops[6].probes[0].probe_ttl, Some(0));
+        assert_eq!(route.hops[7].probes[0].probe_ttl, Some(1));
+    }
+
+    #[test]
+    fn nat_loop_shows_decreasing_response_ttl() {
+        let sc = scenarios::fig5();
+        let mut tx = transport(&sc, 1);
+        let mut strat = ParisUdp::new(41000, 52000);
+        let route = trace(&mut tx, &mut strat, sc.destination, TraceConfig::default());
+        let a = route.addresses();
+        // Hops 6..=9 (indices 5..=8) all show N0.
+        for i in 5..=8 {
+            assert_eq!(a[i], Some(sc.a("N")), "hop {}", i + 1);
+        }
+        let ttls: Vec<_> = (5..=8).map(|i| route.hops[i].probes[0].response_ttl.unwrap()).collect();
+        assert_eq!(ttls, vec![250, 249, 248, 247], "the paper's Fig. 5 numbers");
+    }
+}

@@ -1,0 +1,46 @@
+//! # pt-netsim — a deterministic packet-level network simulator
+//!
+//! The substrate that stands in for the Internet of the paper's study.
+//! It is a discrete-event simulator over a graph of nodes (routers and
+//! hosts) connected by links with delay and loss. Packets are the real
+//! wire-format packets from [`pt_wire`]; routers decrement TTL, expire
+//! packets with ICMP Time Exceeded (quoting the IP header plus eight
+//! transport octets, exactly as RFC 792 prescribes), stamp responses from
+//! a per-router 16-bit IP-ID counter, and balance load per-flow,
+//! per-packet or per-destination.
+//!
+//! Everything the paper blames for traceroute anomalies is a node
+//! attribute here:
+//!
+//! * per-flow load balancers hashing real header bytes ([`pt_wire::FlowPolicy`]),
+//! * per-packet load balancers drawing from a seeded RNG,
+//! * routers that forward TTL-zero packets instead of expiring them,
+//! * routers whose forwarding is broken and answer Destination Unreachable,
+//! * NAT gateways that rewrite the source of everything leaving a stub,
+//! * silent routers and lossy links (stars),
+//! * scheduled routing-table changes and transient forwarding loops.
+//!
+//! The simulator is fully deterministic given a seed: event ordering uses
+//! a (time, sequence) key and all randomness flows from `StdRng` instances
+//! derived from the topology seed.
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod builder;
+pub mod node;
+pub mod routing;
+pub mod scenarios;
+pub mod sim;
+pub mod time;
+pub mod topology;
+pub mod transport;
+
+pub use addr::Ipv4Prefix;
+pub use builder::TopologyBuilder;
+pub use node::{BalancerKind, HostConfig, NatConfig, NodeKind, RouterConfig};
+pub use routing::{NextHop, RoutingTable};
+pub use sim::{SimStats, Simulator};
+pub use time::{SimDuration, SimTime};
+pub use topology::{LinkId, NodeId, Topology};
+pub use transport::SimTransport;

@@ -1,0 +1,189 @@
+//! Forwarding state: longest-prefix-match routing tables whose next hops
+//! may be single interfaces or load-balanced interface sets.
+
+use std::net::Ipv4Addr;
+
+use crate::addr::Ipv4Prefix;
+use crate::node::BalancerKind;
+
+/// Where a routing table sends a matching packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NextHop {
+    /// A single egress interface (index into the node's interface list).
+    Iface(usize),
+    /// An equal-cost set of egress interfaces, disambiguated by the
+    /// balancer policy. This is the paper's load balancer `L`.
+    Balanced {
+        /// How packets are spread (per-flow, per-packet, per-destination).
+        kind: BalancerKind,
+        /// Candidate egress interfaces, in a stable order.
+        egresses: Vec<usize>,
+    },
+    /// Discard matching packets without any ICMP (a silent blackhole /
+    /// firewall rule).
+    Blackhole,
+}
+
+impl NextHop {
+    /// The egress interfaces this next hop may use.
+    pub fn egresses(&self) -> &[usize] {
+        match self {
+            NextHop::Iface(i) => core::slice::from_ref(i),
+            NextHop::Balanced { egresses, .. } => egresses,
+            NextHop::Blackhole => &[],
+        }
+    }
+}
+
+/// A routing table: `(prefix, next hop)` entries resolved by
+/// longest-prefix match, ties broken by insertion order (first wins).
+///
+/// Host (`/32`) routes live in a hash map — synthetic-Internet core
+/// routers carry one per destination, and linear scans there would
+/// dominate campaign run time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoutingTable {
+    entries: Vec<(Ipv4Prefix, NextHop)>,
+    host_routes: std::collections::HashMap<Ipv4Addr, NextHop>,
+}
+
+impl RoutingTable {
+    /// An empty table (every lookup misses).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or replace the route for exactly `prefix`.
+    pub fn set(&mut self, prefix: Ipv4Prefix, next_hop: NextHop) {
+        if prefix.len() == 32 {
+            self.host_routes.insert(prefix.network(), next_hop);
+            return;
+        }
+        if let Some(slot) = self.entries.iter_mut().find(|(p, _)| *p == prefix) {
+            slot.1 = next_hop;
+        } else {
+            self.entries.push((prefix, next_hop));
+        }
+    }
+
+    /// Remove the route for exactly `prefix`, returning it if present.
+    pub fn remove(&mut self, prefix: Ipv4Prefix) -> Option<NextHop> {
+        if prefix.len() == 32 {
+            return self.host_routes.remove(&prefix.network());
+        }
+        let idx = self.entries.iter().position(|(p, _)| *p == prefix)?;
+        Some(self.entries.remove(idx).1)
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, dst: Ipv4Addr) -> Option<&NextHop> {
+        // A /32 match beats anything else by definition.
+        if let Some(nh) = self.host_routes.get(&dst) {
+            return Some(nh);
+        }
+        self.entries
+            .iter()
+            .filter(|(p, _)| p.contains(dst))
+            .max_by_key(|(p, _)| p.len())
+            .map(|(_, nh)| nh)
+    }
+
+    /// Non-host entries, for inspection.
+    pub fn entries(&self) -> &[(Ipv4Prefix, NextHop)] {
+        &self.entries
+    }
+
+    /// Number of entries (host routes included).
+    pub fn len(&self) -> usize {
+        self.entries.len() + self.host_routes.len()
+    }
+
+    /// True when the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty() && self.host_routes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: [u8; 4], len: u8) -> Ipv4Prefix {
+        Ipv4Prefix::new(Ipv4Addr::from(s), len)
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut t = RoutingTable::new();
+        t.set(Ipv4Prefix::DEFAULT, NextHop::Iface(0));
+        t.set(p([10, 0, 0, 0], 8), NextHop::Iface(1));
+        t.set(p([10, 1, 0, 0], 16), NextHop::Iface(2));
+        assert_eq!(t.lookup(Ipv4Addr::new(10, 1, 2, 3)), Some(&NextHop::Iface(2)));
+        assert_eq!(t.lookup(Ipv4Addr::new(10, 2, 2, 3)), Some(&NextHop::Iface(1)));
+        assert_eq!(t.lookup(Ipv4Addr::new(192, 0, 2, 1)), Some(&NextHop::Iface(0)));
+    }
+
+    #[test]
+    fn missing_route_without_default() {
+        let mut t = RoutingTable::new();
+        t.set(p([10, 0, 0, 0], 8), NextHop::Iface(0));
+        assert_eq!(t.lookup(Ipv4Addr::new(192, 0, 2, 1)), None);
+    }
+
+    #[test]
+    fn set_replaces_same_prefix() {
+        let mut t = RoutingTable::new();
+        t.set(Ipv4Prefix::DEFAULT, NextHop::Iface(0));
+        t.set(Ipv4Prefix::DEFAULT, NextHop::Iface(3));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(Ipv4Addr::new(8, 8, 8, 8)), Some(&NextHop::Iface(3)));
+    }
+
+    #[test]
+    fn remove_route() {
+        let mut t = RoutingTable::new();
+        t.set(Ipv4Prefix::DEFAULT, NextHop::Iface(0));
+        assert!(t.remove(Ipv4Prefix::DEFAULT).is_some());
+        assert!(t.lookup(Ipv4Addr::new(8, 8, 8, 8)).is_none());
+        assert!(t.remove(Ipv4Prefix::DEFAULT).is_none());
+    }
+
+    #[test]
+    fn balanced_next_hop_exposes_egresses() {
+        let nh = NextHop::Balanced {
+            kind: BalancerKind::PerPacket,
+            egresses: vec![1, 2, 3],
+        };
+        assert_eq!(nh.egresses(), &[1, 2, 3]);
+        assert_eq!(NextHop::Iface(7).egresses(), &[7]);
+        assert!(NextHop::Blackhole.egresses().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod host_route_tests {
+    use super::*;
+
+    #[test]
+    fn host_route_beats_shorter_prefixes() {
+        let mut t = RoutingTable::new();
+        t.set(Ipv4Prefix::DEFAULT, NextHop::Iface(0));
+        let a = Ipv4Addr::new(10, 1, 2, 3);
+        t.set(Ipv4Prefix::host(a), NextHop::Iface(5));
+        assert_eq!(t.lookup(a), Some(&NextHop::Iface(5)));
+        assert_eq!(t.lookup(Ipv4Addr::new(10, 1, 2, 4)), Some(&NextHop::Iface(0)));
+        assert_eq!(t.len(), 2);
+        assert!(t.remove(Ipv4Prefix::host(a)).is_some());
+        assert_eq!(t.lookup(a), Some(&NextHop::Iface(0)));
+    }
+
+    #[test]
+    fn many_host_routes_resolve() {
+        let mut t = RoutingTable::new();
+        for i in 0..2000u32 {
+            t.set(Ipv4Prefix::host(Ipv4Addr::from(0x0a00_0000 + i)), NextHop::Iface(i as usize % 7));
+        }
+        assert_eq!(t.len(), 2000);
+        assert_eq!(t.lookup(Ipv4Addr::from(0x0a00_0000 + 1234)), Some(&NextHop::Iface(1234 % 7)));
+    }
+}

@@ -1,0 +1,1074 @@
+//! The discrete-event engine: packet forwarding, TTL expiry, ICMP
+//! generation, load balancing, NAT rewriting and routing dynamics.
+//!
+//! Event ordering is strictly `(time, sequence)` and all randomness comes
+//! from per-node `StdRng`s derived from the global seed, so a run is a
+//! pure function of `(topology, seed, injected packets, scheduled route
+//! changes)`.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pt_wire::icmp::{IcmpMessage, Quotation};
+use pt_wire::ipv4::Ipv4Header;
+use pt_wire::tcp::{flags as tcp_flags, TcpSegment};
+use pt_wire::{Packet, Transport, UnreachableCode};
+
+use crate::addr::Ipv4Prefix;
+use crate::node::{BalancerKind, HostConfig, NodeKind, RouterConfig};
+use crate::routing::{NextHop, RoutingTable};
+use crate::time::SimTime;
+use crate::topology::{NodeId, Topology};
+
+/// Counters describing everything the simulator did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Packets forwarded router-to-router (per traversal).
+    pub forwarded: u64,
+    /// ICMP Time Exceeded messages generated.
+    pub time_exceeded_sent: u64,
+    /// ICMP Destination Unreachable messages generated.
+    pub dest_unreachable_sent: u64,
+    /// ICMP Echo Replies generated.
+    pub echo_replies_sent: u64,
+    /// TCP SYN-ACK / RST responses generated.
+    pub tcp_responses_sent: u64,
+    /// Packets lost on links.
+    pub dropped_loss: u64,
+    /// Packets a silent router expired without answering.
+    pub dropped_silent: u64,
+    /// ICMP suppressed by rate limiting.
+    pub dropped_rate_limited: u64,
+    /// Packets dropped for lack of a route.
+    pub dropped_no_route: u64,
+    /// Packets swallowed by blackhole routes.
+    pub dropped_blackhole: u64,
+    /// Packets a host refused to answer (firewalled destination).
+    pub dropped_host_mute: u64,
+    /// Source-address rewrites performed by NAT gateways.
+    pub nat_rewrites: u64,
+    /// Packets delivered into node inboxes.
+    pub delivered: u64,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    /// A packet arrives at `node`. `iface_in` is `None` for packets the
+    /// node itself originates (injections and generated responses).
+    Arrival { node: NodeId, iface_in: Option<usize>, packet: Packet },
+    /// Install (`Some`) or remove (`None`) a route at `node` — the
+    /// routing-dynamics hook.
+    RouteSet { node: NodeId, prefix: Ipv4Prefix, next_hop: Option<NextHop> },
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+#[derive(Debug)]
+struct NodeState {
+    /// Live routing table (starts as a copy of the topology's).
+    routing: RoutingTable,
+    /// The router's internal 16-bit counter stamped into the IP
+    /// Identification of packets it originates.
+    ip_id: u16,
+    /// Per-node RNG: per-packet balancing and loss draws.
+    rng: StdRng,
+    /// Stable salt mixed into per-flow/per-destination hashes so distinct
+    /// routers do not all pick the same egress index for the same flow.
+    salt: u64,
+    /// Last time this node generated an ICMP (for rate limiting).
+    last_icmp: Option<SimTime>,
+}
+
+/// The simulator: owns runtime state over a shared immutable topology.
+#[derive(Debug)]
+pub struct Simulator {
+    topo: Arc<Topology>,
+    clock: SimTime,
+    next_seq: u64,
+    queue: BinaryHeap<Scheduled>,
+    state: Vec<NodeState>,
+    inbox: HashMap<NodeId, VecDeque<(SimTime, Packet)>>,
+    stats: SimStats,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl Simulator {
+    /// Build a simulator over `topology`, deriving all randomness from
+    /// `seed`.
+    pub fn new(topology: Arc<Topology>, seed: u64) -> Self {
+        let state = (0..topology.nodes.len())
+            .map(|i| {
+                let node_seed = splitmix64(seed ^ splitmix64(i as u64 + 1));
+                NodeState {
+                    routing: topology.nodes[i].routing.clone(),
+                    ip_id: (node_seed >> 32) as u16,
+                    rng: StdRng::seed_from_u64(node_seed),
+                    salt: splitmix64(node_seed ^ 0xabcd_ef01),
+                    last_icmp: None,
+                }
+            })
+            .collect();
+        Simulator {
+            topo: topology,
+            clock: SimTime::ZERO,
+            next_seq: 0,
+            queue: BinaryHeap::new(),
+            state,
+            inbox: HashMap::new(),
+            stats: SimStats::default(),
+        }
+    }
+
+    /// The shared topology.
+    pub fn topology(&self) -> &Arc<Topology> {
+        &self.topo
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Activity counters so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled { time, seq, kind });
+    }
+
+    /// Inject a packet originated by `node` at the current time.
+    pub fn inject(&mut self, node: NodeId, packet: Packet) {
+        self.schedule(self.clock, EventKind::Arrival { node, iface_in: None, packet });
+    }
+
+    /// Install (`Some`) or remove (`None`) a route at `node` at time `at`
+    /// — the hook for routing changes and transient forwarding loops.
+    pub fn schedule_route_set(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        prefix: Ipv4Prefix,
+        next_hop: Option<NextHop>,
+    ) {
+        self.schedule(at, EventKind::RouteSet { node, prefix, next_hop });
+    }
+
+    /// The time of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|s| s.time)
+    }
+
+    /// Process a single event, advancing the clock to it. Returns `false`
+    /// when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else { return false };
+        debug_assert!(ev.time >= self.clock, "event from the past");
+        self.clock = ev.time;
+        match ev.kind {
+            EventKind::Arrival { node, iface_in, packet } => {
+                self.process_arrival(node, iface_in, packet)
+            }
+            EventKind::RouteSet { node, prefix, next_hop } => match next_hop {
+                Some(nh) => self.state[node.0].routing.set(prefix, nh),
+                None => {
+                    let _ = self.state[node.0].routing.remove(prefix);
+                }
+            },
+        }
+        true
+    }
+
+    /// Process every event scheduled at or before `t`; the clock finishes
+    /// at exactly `t`.
+    pub fn run_until(&mut self, t: SimTime) {
+        while self.peek_time().is_some_and(|pt| pt <= t) {
+            self.step();
+        }
+        if self.clock < t {
+            self.clock = t;
+        }
+    }
+
+    /// Drain every pending event (packets die by TTL, so this terminates).
+    pub fn run_to_quiescence(&mut self) {
+        while self.step() {}
+    }
+
+    /// Take everything delivered to `node` since the last call.
+    pub fn take_inbox(&mut self, node: NodeId) -> Vec<(SimTime, Packet)> {
+        self.inbox.remove(&node).map(Vec::from).unwrap_or_default()
+    }
+
+    /// Pop the oldest delivery to `node`, if any.
+    pub fn pop_delivery(&mut self, node: NodeId) -> Option<(SimTime, Packet)> {
+        self.inbox.get_mut(&node).and_then(VecDeque::pop_front)
+    }
+
+    /// Number of undelivered packets waiting at `node`.
+    pub fn inbox_len(&self, node: NodeId) -> usize {
+        self.inbox.get(&node).map_or(0, VecDeque::len)
+    }
+
+    /// Read `node`'s live routing table (tests and dynamics helpers).
+    pub fn routing_of(&self, node: NodeId) -> &RoutingTable {
+        &self.state[node.0].routing
+    }
+
+    // ------------------------------------------------------------------
+    // Packet processing
+    // ------------------------------------------------------------------
+
+    fn process_arrival(&mut self, node: NodeId, iface_in: Option<usize>, mut packet: Packet) {
+        if self.topo.node(node).owns_addr(packet.ip.dst) {
+            self.deliver_local(node, packet);
+            return;
+        }
+        let kind = self.topo.node(node).kind.clone();
+        match kind {
+            NodeKind::Host(_) => {
+                if iface_in.is_none() {
+                    // Hosts route only their own packets (via gateway).
+                    self.forward(node, iface_in, packet);
+                } else {
+                    // A host never forwards transit traffic.
+                    self.stats.dropped_no_route += 1;
+                }
+            }
+            NodeKind::Router(cfg) => {
+                if iface_in.is_some() {
+                    let ttl = packet.ip.ttl;
+                    if ttl == 0 || (ttl == 1 && !cfg.zero_ttl_forwarding) {
+                        // Expired: quote the packet exactly as received —
+                        // probe TTL 1 normally, 0 past a zero-TTL forwarder.
+                        self.expire(node, iface_in, &cfg, &packet);
+                        return;
+                    }
+                    // Normal decrement; the Fig. 4 misconfiguration sends
+                    // TTL 1 onward as TTL 0.
+                    packet.ip.ttl -= 1;
+                }
+                if let Some(code) = cfg.broken {
+                    self.respond_unreachable(node, iface_in, &cfg, &packet, code);
+                    return;
+                }
+                self.forward(node, iface_in, packet);
+            }
+        }
+    }
+
+    fn deliver_local(&mut self, node: NodeId, packet: Packet) {
+        self.stats.delivered += 1;
+        let probed_addr = packet.ip.dst;
+        let response = match &self.topo.node(node).kind {
+            NodeKind::Host(h) => self.host_response(node, h.clone(), probed_addr, &packet),
+            NodeKind::Router(r) => {
+                self.router_local_response(node, r.clone(), probed_addr, &packet)
+            }
+        };
+        self.inbox.entry(node).or_default().push_back((self.clock, packet));
+        if let Some(resp) = response {
+            self.originate(node, resp);
+        }
+    }
+
+    fn host_response(
+        &mut self,
+        node: NodeId,
+        cfg: HostConfig,
+        probed_addr: Ipv4Addr,
+        packet: &Packet,
+    ) -> Option<Packet> {
+        match &packet.transport {
+            Transport::Udp(_) => {
+                if !cfg.udp_responds {
+                    self.stats.dropped_host_mute += 1;
+                    return None;
+                }
+                self.stats.dest_unreachable_sent += 1;
+                Some(self.icmp_response(
+                    node,
+                    probed_addr,
+                    cfg.initial_ttl,
+                    packet,
+                    IcmpKind::Unreachable(UnreachableCode::Port),
+                ))
+            }
+            Transport::Icmp(IcmpMessage::EchoRequest { identifier, seq, payload }) => {
+                if !cfg.pingable {
+                    self.stats.dropped_host_mute += 1;
+                    return None;
+                }
+                self.stats.echo_replies_sent += 1;
+                let reply = IcmpMessage::EchoReply {
+                    identifier: *identifier,
+                    seq: *seq,
+                    payload: payload.clone(),
+                };
+                Some(self.build_response(node, probed_addr, packet.ip.src, cfg.initial_ttl, Transport::Icmp(reply)))
+            }
+            Transport::Tcp(seg) if seg.control & tcp_flags::SYN != 0 => {
+                let open = cfg.open_tcp_ports.contains(&seg.dst_port);
+                if !open && !cfg.tcp_responds {
+                    self.stats.dropped_host_mute += 1;
+                    return None;
+                }
+                self.stats.tcp_responses_sent += 1;
+                let mut resp = TcpSegment::syn_probe(seg.dst_port, seg.src_port, 0);
+                resp.ack = seg.seq.wrapping_add(1);
+                resp.control = if open { tcp_flags::SYN | tcp_flags::ACK } else { tcp_flags::RST | tcp_flags::ACK };
+                Some(self.build_response(node, probed_addr, packet.ip.src, cfg.initial_ttl, Transport::Tcp(resp)))
+            }
+            // Echo replies, errors, non-SYN TCP: consumed silently.
+            _ => None,
+        }
+    }
+
+    fn router_local_response(
+        &mut self,
+        node: NodeId,
+        cfg: RouterConfig,
+        probed_addr: Ipv4Addr,
+        packet: &Packet,
+    ) -> Option<Packet> {
+        if cfg.silent {
+            self.stats.dropped_silent += 1;
+            return None;
+        }
+        match &packet.transport {
+            Transport::Udp(_) => {
+                self.stats.dest_unreachable_sent += 1;
+                Some(self.icmp_response(
+                    node,
+                    probed_addr,
+                    cfg.icmp_initial_ttl,
+                    packet,
+                    IcmpKind::Unreachable(UnreachableCode::Port),
+                ))
+            }
+            Transport::Icmp(IcmpMessage::EchoRequest { identifier, seq, payload }) => {
+                self.stats.echo_replies_sent += 1;
+                let reply = IcmpMessage::EchoReply {
+                    identifier: *identifier,
+                    seq: *seq,
+                    payload: payload.clone(),
+                };
+                Some(self.build_response(node, probed_addr, packet.ip.src, cfg.icmp_initial_ttl, Transport::Icmp(reply)))
+            }
+            Transport::Tcp(seg) if seg.control & tcp_flags::SYN != 0 => {
+                self.stats.tcp_responses_sent += 1;
+                let mut resp = TcpSegment::syn_probe(seg.dst_port, seg.src_port, 0);
+                resp.ack = seg.seq.wrapping_add(1);
+                resp.control = tcp_flags::RST | tcp_flags::ACK;
+                Some(self.build_response(node, probed_addr, packet.ip.src, cfg.icmp_initial_ttl, Transport::Tcp(resp)))
+            }
+            _ => None,
+        }
+    }
+
+    fn expire(&mut self, node: NodeId, iface_in: Option<usize>, cfg: &RouterConfig, packet: &Packet) {
+        if cfg.silent {
+            self.stats.dropped_silent += 1;
+            return;
+        }
+        if self.rate_limited(node, cfg) {
+            self.stats.dropped_rate_limited += 1;
+            return;
+        }
+        let src_addr = self.responding_addr(node, iface_in);
+        self.stats.time_exceeded_sent += 1;
+        let resp =
+            self.icmp_response(node, src_addr, cfg.icmp_initial_ttl, packet, IcmpKind::TimeExceeded);
+        self.originate(node, resp);
+    }
+
+    fn respond_unreachable(
+        &mut self,
+        node: NodeId,
+        iface_in: Option<usize>,
+        cfg: &RouterConfig,
+        packet: &Packet,
+        code: UnreachableCode,
+    ) {
+        if cfg.silent {
+            self.stats.dropped_silent += 1;
+            return;
+        }
+        if self.rate_limited(node, cfg) {
+            self.stats.dropped_rate_limited += 1;
+            return;
+        }
+        let src_addr = self.responding_addr(node, iface_in);
+        self.stats.dest_unreachable_sent += 1;
+        let resp = self.icmp_response(
+            node,
+            src_addr,
+            cfg.icmp_initial_ttl,
+            packet,
+            IcmpKind::Unreachable(code),
+        );
+        self.originate(node, resp);
+    }
+
+    fn rate_limited(&mut self, node: NodeId, cfg: &RouterConfig) -> bool {
+        let Some(min) = cfg.icmp_min_interval else { return false };
+        let state = &mut self.state[node.0];
+        if let Some(last) = state.last_icmp {
+            if self.clock.since(last) < min {
+                return true;
+            }
+        }
+        state.last_icmp = Some(self.clock);
+        false
+    }
+
+    /// The address a router answers from: by default the interface the
+    /// offending packet arrived on (the address classic traceroute
+    /// reports), or the primary address for fixed-responder routers.
+    fn responding_addr(&self, node: NodeId, iface_in: Option<usize>) -> Ipv4Addr {
+        let n = self.topo.node(node);
+        let fixed = matches!(
+            n.kind.as_router().map(|r| r.responder),
+            Some(crate::node::ResponderAddr::Fixed)
+        );
+        match iface_in {
+            Some(i) if !fixed => n.ifaces[i].addr,
+            _ => n.primary_addr(),
+        }
+    }
+
+    fn icmp_response(
+        &mut self,
+        node: NodeId,
+        src: Ipv4Addr,
+        initial_ttl: u8,
+        offending: &Packet,
+        kind: IcmpKind,
+    ) -> Packet {
+        // Quote the offending packet exactly as received: header with the
+        // TTL at reception, plus the first eight transport octets.
+        let quotation = Quotation::from_probe(offending.ip, &offending.transport_bytes());
+        let msg = match kind {
+            IcmpKind::TimeExceeded => IcmpMessage::TimeExceeded { quotation },
+            IcmpKind::Unreachable(code) => IcmpMessage::DestUnreachable { code, quotation },
+        };
+        self.build_response(node, src, offending.ip.src, initial_ttl, Transport::Icmp(msg))
+    }
+
+    fn build_response(
+        &mut self,
+        node: NodeId,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        initial_ttl: u8,
+        transport: Transport,
+    ) -> Packet {
+        let state = &mut self.state[node.0];
+        let mut ip = Ipv4Header::new(src, dst, transport.protocol(), initial_ttl);
+        ip.identification = state.ip_id;
+        state.ip_id = state.ip_id.wrapping_add(1);
+        Packet::new(ip, transport)
+    }
+
+    /// Send `packet` from `node` without TTL processing (the node is the
+    /// packet's origin).
+    fn originate(&mut self, node: NodeId, packet: Packet) {
+        self.forward(node, None, packet);
+    }
+
+    fn forward(&mut self, node: NodeId, iface_in: Option<usize>, mut packet: Packet) {
+        // NAT: rewrite the source of anything leaving the stub.
+        if let NodeKind::Router(cfg) = &self.topo.node(node).kind {
+            if let Some(nat) = &cfg.nat {
+                if packet.ip.src != nat.public && nat.is_inside(packet.ip.src) {
+                    packet.ip.src = nat.public;
+                    self.stats.nat_rewrites += 1;
+                }
+            }
+        }
+        let dst = packet.ip.dst;
+        let next_hop = match self.state[node.0].routing.lookup(dst) {
+            Some(nh) => nh.clone(),
+            None => {
+                self.stats.dropped_no_route += 1;
+                return;
+            }
+        };
+        let egress = match &next_hop {
+            NextHop::Iface(i) => *i,
+            NextHop::Blackhole => {
+                self.stats.dropped_blackhole += 1;
+                return;
+            }
+            NextHop::Balanced { kind, egresses } => {
+                let n = egresses.len();
+                let idx = match kind {
+                    BalancerKind::PerFlow(policy) => {
+                        let key = policy.flow_key(&packet).0;
+                        (splitmix64(key ^ self.state[node.0].salt) % n as u64) as usize
+                    }
+                    BalancerKind::PerPacket => self.state[node.0].rng.gen_range(0..n),
+                    BalancerKind::PerDestination => {
+                        let key = u64::from(u32::from(dst));
+                        (splitmix64(key ^ self.state[node.0].salt) % n as u64) as usize
+                    }
+                };
+                egresses[idx]
+            }
+        };
+        // Don't bounce a packet straight back out the interface it came
+        // in on unless routing genuinely says so (it may, in a transient
+        // forwarding loop — allow it; real routers do too).
+        let _ = iface_in;
+        self.transmit(node, egress, packet);
+    }
+
+    fn transmit(&mut self, node: NodeId, iface_idx: usize, packet: Packet) {
+        let iface = self.topo.node(node).ifaces[iface_idx];
+        let Some(link_id) = iface.link else {
+            // Loopback/unattached interface: nowhere to go.
+            self.stats.dropped_no_route += 1;
+            return;
+        };
+        let link = *self.topo.link(link_id);
+        if link.loss > 0.0 && self.state[node.0].rng.gen::<f64>() < link.loss {
+            self.stats.dropped_loss += 1;
+            return;
+        }
+        let other = link.other_end(node);
+        self.stats.forwarded += 1;
+        let at = self.clock + link.delay;
+        self.schedule(at, EventKind::Arrival {
+            node: other.node,
+            iface_in: Some(other.iface),
+            packet,
+        });
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum IcmpKind {
+    TimeExceeded,
+    Unreachable(UnreachableCode),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TopologyBuilder;
+    use crate::time::SimDuration;
+    use crate::node::{HostConfig, RouterConfig};
+    use pt_wire::ipv4::protocol;
+    use pt_wire::UdpDatagram;
+
+    /// S — r1 — r2 — D, 1 ms per link.
+    fn chain() -> (Arc<Topology>, NodeId, NodeId, Ipv4Addr) {
+        let mut b = TopologyBuilder::new();
+        let s = b.host("S", HostConfig::default());
+        let r1 = b.router("r1", RouterConfig::default());
+        let r2 = b.router("r2", RouterConfig::default());
+        let d = b.host("D", HostConfig::default());
+        b.link(s, r1, SimDuration::from_millis(1), 0.0);
+        b.link(r1, r2, SimDuration::from_millis(1), 0.0);
+        b.link(r2, d, SimDuration::from_millis(1), 0.0);
+        b.default_via(s, r1);
+        b.default_via(r1, r2);
+        b.default_via(r2, d);
+        b.default_via(d, r2);
+        // Return routes toward S.
+        let s_pfx = b.subnet_of(s);
+        b.route_via(r2, s_pfx, r1);
+        b.route_via(r1, s_pfx, s);
+        let dst = b.addr_of(d);
+        (Arc::new(b.build()), s, d, dst)
+    }
+
+    fn udp_probe(src: Ipv4Addr, dst: Ipv4Addr, ttl: u8, dst_port: u16) -> Packet {
+        let ip = Ipv4Header::new(src, dst, protocol::UDP, ttl);
+        Packet::new(ip, Transport::Udp(UdpDatagram::new(33768, dst_port, vec![0; 8])))
+    }
+
+    fn src_addr(topo: &Topology, s: NodeId) -> Ipv4Addr {
+        topo.node(s).primary_addr()
+    }
+
+    #[test]
+    fn ttl_expiry_generates_time_exceeded_with_probe_ttl_one() {
+        let (topo, s, _d, dst) = chain();
+        let mut sim = Simulator::new(topo.clone(), 1);
+        let probe = udp_probe(src_addr(&topo, s), dst, 1, 33435);
+        sim.inject(s, probe);
+        sim.run_to_quiescence();
+        let deliveries = sim.take_inbox(s);
+        assert_eq!(deliveries.len(), 1);
+        let (_, resp) = &deliveries[0];
+        // Response comes from r1's S-facing interface.
+        assert_eq!(resp.ip.src, topo.node(topo.find("r1").unwrap()).ifaces[0].addr);
+        match &resp.transport {
+            Transport::Icmp(IcmpMessage::TimeExceeded { quotation }) => {
+                assert_eq!(quotation.ip.ttl, 1, "normal probe TTL is one");
+                assert_eq!(quotation.ip.dst, dst);
+            }
+            other => panic!("expected Time Exceeded, got {other:?}"),
+        }
+        assert_eq!(sim.stats().time_exceeded_sent, 1);
+    }
+
+    #[test]
+    fn probe_reaching_destination_draws_port_unreachable() {
+        let (topo, s, _d, dst) = chain();
+        let mut sim = Simulator::new(topo.clone(), 1);
+        let probe = udp_probe(src_addr(&topo, s), dst, 30, 34567);
+        sim.inject(s, probe);
+        sim.run_to_quiescence();
+        let deliveries = sim.take_inbox(s);
+        assert_eq!(deliveries.len(), 1);
+        match &deliveries[0].1.transport {
+            Transport::Icmp(IcmpMessage::DestUnreachable { code, quotation }) => {
+                assert_eq!(*code, UnreachableCode::Port);
+                assert_eq!(quotation.ip.dst, dst);
+            }
+            other => panic!("expected Port Unreachable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn echo_request_draws_echo_reply() {
+        let (topo, s, _d, dst) = chain();
+        let mut sim = Simulator::new(topo.clone(), 1);
+        let ip = Ipv4Header::new(src_addr(&topo, s), dst, protocol::ICMP, 30);
+        let probe = Packet::new(ip, Transport::Icmp(IcmpMessage::echo_probe_classic(77, 3)));
+        sim.inject(s, probe);
+        sim.run_to_quiescence();
+        let deliveries = sim.take_inbox(s);
+        assert_eq!(deliveries.len(), 1);
+        match &deliveries[0].1.transport {
+            Transport::Icmp(IcmpMessage::EchoReply { identifier, seq, .. }) => {
+                assert_eq!((*identifier, *seq), (77, 3));
+            }
+            other => panic!("expected Echo Reply, got {other:?}"),
+        }
+        assert_eq!(deliveries[0].1.ip.src, dst, "reply comes from the probed address");
+    }
+
+    #[test]
+    fn response_ttl_reflects_return_path_length() {
+        let (topo, s, _d, dst) = chain();
+        let mut sim = Simulator::new(topo.clone(), 1);
+        // Expire at r2 (hop 2): response crosses r2→r1→S, decremented
+        // once at r1. 255 - 1 = 254 on arrival.
+        let probe = udp_probe(src_addr(&topo, s), dst, 2, 33435);
+        sim.inject(s, probe);
+        sim.run_to_quiescence();
+        let deliveries = sim.take_inbox(s);
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].1.ip.ttl, 254);
+    }
+
+    #[test]
+    fn rtt_grows_with_hop_distance() {
+        let (topo, s, _d, dst) = chain();
+        let mut sim = Simulator::new(topo.clone(), 1);
+        let t0 = sim.now();
+        sim.inject(s, udp_probe(src_addr(&topo, s), dst, 1, 33435));
+        sim.run_to_quiescence();
+        let rtt1 = sim.take_inbox(s)[0].0.since(t0);
+        let t1 = sim.now();
+        sim.inject(s, udp_probe(src_addr(&topo, s), dst, 2, 33436));
+        sim.run_to_quiescence();
+        let rtt2 = sim.take_inbox(s)[0].0.since(t1);
+        assert_eq!(rtt1, SimDuration::from_millis(2), "hop 1: 1ms out + 1ms back");
+        assert_eq!(rtt2, SimDuration::from_millis(4), "hop 2: 2ms out + 2ms back");
+    }
+
+    #[test]
+    fn ip_ids_from_one_router_increment() {
+        let (topo, s, _d, dst) = chain();
+        let mut sim = Simulator::new(topo.clone(), 1);
+        let mut ids = Vec::new();
+        for i in 0..3 {
+            sim.inject(s, udp_probe(src_addr(&topo, s), dst, 1, 33435 + i));
+            sim.run_to_quiescence();
+            ids.push(sim.take_inbox(s)[0].1.ip.identification);
+        }
+        assert_eq!(ids[1], ids[0].wrapping_add(1));
+        assert_eq!(ids[2], ids[1].wrapping_add(1));
+    }
+
+    #[test]
+    fn silent_router_swallows_probes() {
+        let mut b = TopologyBuilder::new();
+        let s = b.host("S", HostConfig::default());
+        let r1 = b.router("r1", RouterConfig::silent());
+        let d = b.host("D", HostConfig::default());
+        b.link(s, r1, SimDuration::from_millis(1), 0.0);
+        b.link(r1, d, SimDuration::from_millis(1), 0.0);
+        b.default_via(s, r1);
+        b.default_via(r1, d);
+        b.default_via(d, r1);
+        let s_pfx = b.subnet_of(s);
+        b.route_via(r1, s_pfx, s);
+        let dst = b.addr_of(d);
+        let topo = Arc::new(b.build());
+        let mut sim = Simulator::new(topo.clone(), 3);
+        sim.inject(s, udp_probe(src_addr(&topo, s), dst, 1, 33435));
+        sim.run_to_quiescence();
+        assert!(sim.take_inbox(s).is_empty(), "silent router must not answer");
+        assert_eq!(sim.stats().dropped_silent, 1);
+        // But probes pass through it fine.
+        sim.inject(s, udp_probe(src_addr(&topo, s), dst, 5, 33436));
+        sim.run_to_quiescence();
+        assert_eq!(sim.take_inbox(s).len(), 1, "transit still works");
+    }
+
+    #[test]
+    fn zero_ttl_forwarder_produces_probe_ttl_zero_at_next_hop() {
+        let mut b = TopologyBuilder::new();
+        let s = b.host("S", HostConfig::default());
+        let f = b.router("F", RouterConfig::zero_ttl_forwarder());
+        let a = b.router("A", RouterConfig::default());
+        let d = b.host("D", HostConfig::default());
+        b.link(s, f, SimDuration::from_millis(1), 0.0);
+        b.link(f, a, SimDuration::from_millis(1), 0.0);
+        b.link(a, d, SimDuration::from_millis(1), 0.0);
+        b.default_via(s, f);
+        b.default_via(f, a);
+        b.default_via(a, d);
+        b.default_via(d, a);
+        let s_pfx = b.subnet_of(s);
+        b.route_via(a, s_pfx, f);
+        b.route_via(f, s_pfx, s);
+        let dst = b.addr_of(d);
+        let topo = Arc::new(b.build());
+        let mut sim = Simulator::new(topo.clone(), 9);
+        // TTL 1 should expire at F, but F forwards it as TTL 0; A answers
+        // with probe TTL 0.
+        sim.inject(s, udp_probe(src_addr(&topo, s), dst, 1, 33435));
+        sim.run_to_quiescence();
+        let deliveries = sim.take_inbox(s);
+        assert_eq!(deliveries.len(), 1);
+        let a_id = topo.find("A").unwrap();
+        assert_eq!(deliveries[0].1.ip.src, topo.node(a_id).ifaces[0].addr);
+        match &deliveries[0].1.transport {
+            Transport::Icmp(IcmpMessage::TimeExceeded { quotation }) => {
+                assert_eq!(quotation.ip.ttl, 0, "zero-TTL forwarding signature");
+            }
+            other => panic!("expected Time Exceeded, got {other:?}"),
+        }
+        // TTL 2 reaches A as TTL 1 and expires normally: probe TTL 1,
+        // same responding interface — the Fig. 4 loop.
+        sim.inject(s, udp_probe(src_addr(&topo, s), dst, 2, 33436));
+        sim.run_to_quiescence();
+        let deliveries = sim.take_inbox(s);
+        match &deliveries[0].1.transport {
+            Transport::Icmp(IcmpMessage::TimeExceeded { quotation }) => {
+                assert_eq!(quotation.ip.ttl, 1);
+            }
+            other => panic!("expected Time Exceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn broken_router_sends_unreachable_for_forwardable_probes() {
+        let mut b = TopologyBuilder::new();
+        let s = b.host("S", HostConfig::default());
+        let r = b.router("r", RouterConfig::broken_forwarding(UnreachableCode::Host));
+        let d = b.host("D", HostConfig::default());
+        b.link(s, r, SimDuration::from_millis(1), 0.0);
+        b.link(r, d, SimDuration::from_millis(1), 0.0);
+        b.default_via(s, r);
+        b.default_via(r, d);
+        let s_pfx = b.subnet_of(s);
+        b.route_via(r, s_pfx, s);
+        let dst = b.addr_of(d);
+        let topo = Arc::new(b.build());
+        let mut sim = Simulator::new(topo.clone(), 5);
+        let src = src_addr(&topo, s);
+        // TTL 1 expires normally: Time Exceeded.
+        sim.inject(s, udp_probe(src, dst, 1, 33435));
+        sim.run_to_quiescence();
+        let first = sim.take_inbox(s);
+        assert!(matches!(
+            &first[0].1.transport,
+            Transport::Icmp(IcmpMessage::TimeExceeded { .. })
+        ));
+        // TTL 2 would be forwarded, but forwarding is broken: !H, same
+        // address — the unreachability loop.
+        sim.inject(s, udp_probe(src, dst, 2, 33436));
+        sim.run_to_quiescence();
+        let second = sim.take_inbox(s);
+        match &second[0].1.transport {
+            Transport::Icmp(IcmpMessage::DestUnreachable { code, .. }) => {
+                assert_eq!(*code, UnreachableCode::Host);
+            }
+            other => panic!("expected !H, got {other:?}"),
+        }
+        assert_eq!(first[0].1.ip.src, second[0].1.ip.src, "loop signature");
+    }
+
+    #[test]
+    fn lossy_link_drops_deterministically_per_seed() {
+        let mut b = TopologyBuilder::new();
+        let s = b.host("S", HostConfig::default());
+        let r = b.router("r", RouterConfig::default());
+        let d = b.host("D", HostConfig::default());
+        b.link(s, r, SimDuration::from_millis(1), 0.0);
+        b.link(r, d, SimDuration::from_millis(1), 0.9);
+        b.default_via(s, r);
+        b.default_via(r, d);
+        b.default_via(d, r);
+        let s_pfx = b.subnet_of(s);
+        b.route_via(r, s_pfx, s);
+        let dst = b.addr_of(d);
+        let topo = Arc::new(b.build());
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(topo.clone(), seed);
+            let mut got = 0;
+            for i in 0..20 {
+                sim.inject(s, udp_probe(src_addr(&topo, s), dst, 5, 34000 + i));
+                sim.run_to_quiescence();
+                got += sim.take_inbox(s).len();
+            }
+            (got, sim.stats().dropped_loss)
+        };
+        let (got_a, lost_a) = run(42);
+        let (got_b, lost_b) = run(42);
+        assert_eq!((got_a, lost_a), (got_b, lost_b), "same seed, same outcome");
+        assert!(lost_a > 0, "90% loss must drop something across 20 probes");
+        assert!(got_a < 20);
+    }
+
+    #[test]
+    fn route_set_event_changes_forwarding_at_the_scheduled_time() {
+        let mut b = TopologyBuilder::new();
+        let s = b.host("S", HostConfig::default());
+        let r = b.router("r", RouterConfig::default());
+        let d1 = b.host("D1", HostConfig::default());
+        let d2 = b.host("D2", HostConfig::default());
+        b.link(s, r, SimDuration::from_millis(1), 0.0);
+        b.link(r, d1, SimDuration::from_millis(1), 0.0);
+        b.link(r, d2, SimDuration::from_millis(1), 0.0);
+        b.default_via(s, r);
+        b.default_via(r, d1);
+        b.default_via(d1, r);
+        b.default_via(d2, r);
+        let s_pfx = b.subnet_of(s);
+        b.route_via(r, s_pfx, s);
+        let dst = b.addr_of(d1);
+        let topo = Arc::new(b.build());
+        let mut sim = Simulator::new(topo.clone(), 1);
+        // After 10ms, r loses its route for everything (default removed).
+        sim.schedule_route_set(
+            SimTime::ZERO + SimDuration::from_millis(10),
+            r,
+            Ipv4Prefix::DEFAULT,
+            None,
+        );
+        sim.inject(s, udp_probe(src_addr(&topo, s), dst, 5, 33435));
+        sim.run_until(SimTime::ZERO + SimDuration::from_millis(9));
+        assert_eq!(sim.take_inbox(s).len(), 1, "before the change, reachable");
+        sim.run_until(SimTime::ZERO + SimDuration::from_millis(11));
+        sim.inject(s, udp_probe(src_addr(&topo, s), dst, 5, 33436));
+        sim.run_to_quiescence();
+        // The probe dies at r for lack of a route (s_pfx route remains,
+        // but dst no longer matches anything).
+        assert!(sim.take_inbox(s).is_empty());
+        assert!(sim.stats().dropped_no_route >= 1);
+    }
+
+    #[test]
+    fn per_flow_balancer_sends_one_flow_one_way() {
+        use pt_wire::FlowPolicy;
+        let mut b = TopologyBuilder::new();
+        let s = b.host("S", HostConfig::default());
+        let l = b.router("L", RouterConfig::default());
+        let a = b.router("A", RouterConfig::default());
+        let c = b.router("C", RouterConfig::default());
+        let m = b.router("M", RouterConfig::default());
+        let d = b.host("D", HostConfig::default());
+        b.link(s, l, SimDuration::from_millis(1), 0.0);
+        b.link(l, a, SimDuration::from_millis(1), 0.0);
+        b.link(l, c, SimDuration::from_millis(1), 0.0);
+        b.link(a, m, SimDuration::from_millis(1), 0.0);
+        b.link(c, m, SimDuration::from_millis(1), 0.0);
+        b.link(m, d, SimDuration::from_millis(1), 0.0);
+        b.default_via(s, l);
+        b.balanced_route(
+            l,
+            Ipv4Prefix::DEFAULT,
+            BalancerKind::PerFlow(FlowPolicy::FiveTuple),
+            &[a, c],
+        );
+        b.default_via(a, m);
+        b.default_via(c, m);
+        b.default_via(m, d);
+        b.default_via(d, m);
+        let s_pfx = b.subnet_of(s);
+        b.route_via(m, s_pfx, a);
+        b.route_via(a, s_pfx, l);
+        b.route_via(c, s_pfx, l);
+        b.route_via(l, s_pfx, s);
+        let dst = b.addr_of(d);
+        let topo = Arc::new(b.build());
+        let mut sim = Simulator::new(topo.clone(), 7);
+        let src = src_addr(&topo, s);
+        // Same flow (same ports) at TTL 2 always hits the same router.
+        let mut addrs_same_flow = std::collections::HashSet::new();
+        for _ in 0..8 {
+            sim.inject(s, udp_probe(src, dst, 2, 33435));
+            sim.run_to_quiescence();
+            addrs_same_flow.insert(sim.take_inbox(s)[0].1.ip.src);
+        }
+        assert_eq!(addrs_same_flow.len(), 1, "one flow, one path");
+        // Varying ports across enough probes hits both routers.
+        let mut addrs_varying = std::collections::HashSet::new();
+        for i in 0..32 {
+            sim.inject(s, udp_probe(src, dst, 2, 33435 + i));
+            sim.run_to_quiescence();
+            addrs_varying.insert(sim.take_inbox(s)[0].1.ip.src);
+        }
+        assert_eq!(addrs_varying.len(), 2, "varying flows explore both paths");
+    }
+
+    #[test]
+    fn per_packet_balancer_splits_even_a_single_flow() {
+        let mut b = TopologyBuilder::new();
+        let s = b.host("S", HostConfig::default());
+        let l = b.router("L", RouterConfig::default());
+        let a = b.router("A", RouterConfig::default());
+        let c = b.router("C", RouterConfig::default());
+        let d = b.host("D", HostConfig::default());
+        b.link(s, l, SimDuration::from_millis(1), 0.0);
+        b.link(l, a, SimDuration::from_millis(1), 0.0);
+        b.link(l, c, SimDuration::from_millis(1), 0.0);
+        b.link(a, d, SimDuration::from_millis(1), 0.0);
+        b.link(c, d, SimDuration::from_millis(1), 0.0);
+        b.default_via(s, l);
+        b.balanced_route(l, Ipv4Prefix::DEFAULT, BalancerKind::PerPacket, &[a, c]);
+        b.default_via(a, d);
+        b.default_via(c, d);
+        b.default_via(d, a);
+        let s_pfx = b.subnet_of(s);
+        b.route_via(a, s_pfx, l);
+        b.route_via(c, s_pfx, l);
+        b.route_via(l, s_pfx, s);
+        b.route_via(d, s_pfx, a);
+        let dst = b.addr_of(d);
+        let topo = Arc::new(b.build());
+        let mut sim = Simulator::new(topo.clone(), 11);
+        let src = src_addr(&topo, s);
+        let mut addrs = std::collections::HashSet::new();
+        for _ in 0..32 {
+            sim.inject(s, udp_probe(src, dst, 2, 33435)); // identical flow
+            sim.run_to_quiescence();
+            addrs.insert(sim.take_inbox(s)[0].1.ip.src);
+        }
+        assert_eq!(addrs.len(), 2, "per-packet balancing ignores the flow");
+    }
+
+    #[test]
+    fn nat_gateway_rewrites_inside_sources() {
+        let mut b = TopologyBuilder::new();
+        let s = b.host("S", HostConfig::default());
+        let n = b.router("N", RouterConfig::default());
+        let inner = b.router("B", RouterConfig::default());
+        let d = b.host("D", HostConfig::default());
+        b.link(s, n, SimDuration::from_millis(1), 0.0);
+        b.link(n, inner, SimDuration::from_millis(1), 0.0);
+        b.link(inner, d, SimDuration::from_millis(1), 0.0);
+        // N's public face is its S-side interface address.
+        let public = b.iface_addr(n, 0);
+        let inside = vec![b.subnet_of(inner), b.subnet_of(d)];
+        // Patch N's config to be a NAT gateway now that we know the prefixes.
+        b.set_router_config(n, RouterConfig::nat_gateway(public, inside));
+        b.default_via(s, n);
+        b.default_via(n, inner);
+        b.default_via(inner, d);
+        b.default_via(d, inner);
+        let s_pfx = b.subnet_of(s);
+        b.route_via(inner, s_pfx, n);
+        b.route_via(n, s_pfx, s);
+        let dst = b.addr_of(d);
+        let topo = Arc::new(b.build());
+        let mut sim = Simulator::new(topo.clone(), 2);
+        let src = src_addr(&topo, s);
+        // Expire at the inner router (hop 2): its Time Exceeded crosses N
+        // and gets rewritten to the public address.
+        sim.inject(s, udp_probe(src, dst, 2, 33435));
+        sim.run_to_quiescence();
+        let deliveries = sim.take_inbox(s);
+        assert_eq!(deliveries.len(), 1);
+        assert_eq!(deliveries[0].1.ip.src, public, "SNAT applied");
+        assert!(sim.stats().nat_rewrites >= 1);
+        // Hop 1 (N itself) answers from its own address untouched.
+        sim.inject(s, udp_probe(src, dst, 1, 33436));
+        sim.run_to_quiescence();
+        assert_eq!(sim.take_inbox(s)[0].1.ip.src, public);
+    }
+
+    #[test]
+    fn icmp_rate_limit_suppresses_back_to_back_probes() {
+        let mut b = TopologyBuilder::new();
+        let s = b.host("S", HostConfig::default());
+        let mut cfg = RouterConfig::default();
+        cfg.icmp_min_interval = Some(SimDuration::from_millis(100));
+        let r = b.router("r", cfg);
+        let d = b.host("D", HostConfig::default());
+        b.link(s, r, SimDuration::from_millis(1), 0.0);
+        b.link(r, d, SimDuration::from_millis(1), 0.0);
+        b.default_via(s, r);
+        b.default_via(r, d);
+        b.default_via(d, r);
+        let s_pfx = b.subnet_of(s);
+        b.route_via(r, s_pfx, s);
+        let dst = b.addr_of(d);
+        let topo = Arc::new(b.build());
+        let mut sim = Simulator::new(topo.clone(), 4);
+        let src = src_addr(&topo, s);
+        sim.inject(s, udp_probe(src, dst, 1, 33435));
+        sim.inject(s, udp_probe(src, dst, 1, 33436));
+        sim.run_to_quiescence();
+        assert_eq!(sim.take_inbox(s).len(), 1, "second ICMP rate-limited");
+        assert_eq!(sim.stats().dropped_rate_limited, 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! The boundary between the (sans-IO) tracer and the simulated network:
+//! a send/receive endpoint attached to one source host, driving virtual
+//! time forward only as far as needed.
+
+use pt_wire::Packet;
+use std::net::Ipv4Addr;
+
+use crate::sim::Simulator;
+use crate::time::SimTime;
+use crate::topology::NodeId;
+
+/// A packet endpoint bound to a source host inside a [`Simulator`].
+///
+/// The tracer in `pt-core` is written against this interface: it sends a
+/// probe, then polls for responses with a deadline. Polling advances the
+/// simulator's virtual clock — either to the moment a response lands in
+/// the host's inbox, or to the deadline if nothing arrives (a star).
+#[derive(Debug)]
+pub struct SimTransport {
+    sim: Simulator,
+    source: NodeId,
+}
+
+impl SimTransport {
+    /// Bind to `source` (a host node) in `sim`.
+    pub fn new(sim: Simulator, source: NodeId) -> Self {
+        SimTransport { sim, source }
+    }
+
+    /// The bound source node.
+    pub fn source(&self) -> NodeId {
+        self.source
+    }
+
+    /// The source host's primary address — what probes carry as `ip.src`.
+    pub fn source_addr(&self) -> Ipv4Addr {
+        self.sim.topology().node(self.source).primary_addr()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Send a packet from the source host.
+    pub fn send(&mut self, packet: Packet) {
+        self.sim.inject(self.source, packet);
+    }
+
+    /// Wait for the next packet delivered to the source, up to `deadline`.
+    ///
+    /// Returns the arrival time and packet, leaving the clock at the
+    /// arrival; or `None` with the clock at `deadline` (probe timeout).
+    pub fn recv_until(&mut self, deadline: SimTime) -> Option<(SimTime, Packet)> {
+        loop {
+            if let Some(delivery) = self.sim.pop_delivery(self.source) {
+                return Some(delivery);
+            }
+            match self.sim.peek_time() {
+                Some(t) if t <= deadline => {
+                    self.sim.step();
+                }
+                _ => {
+                    self.sim.run_until(deadline);
+                    return self.sim.pop_delivery(self.source);
+                }
+            }
+        }
+    }
+
+    /// Mutable access to the simulator (scheduling dynamics mid-trace).
+    pub fn simulator_mut(&mut self) -> &mut Simulator {
+        &mut self.sim
+    }
+
+    /// Shared access to the simulator.
+    pub fn simulator(&self) -> &Simulator {
+        &self.sim
+    }
+
+    /// Unwrap back into the simulator.
+    pub fn into_simulator(self) -> Simulator {
+        self.sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TopologyBuilder;
+    use crate::node::{HostConfig, RouterConfig};
+    use crate::time::SimDuration;
+    use pt_wire::ipv4::{protocol, Ipv4Header};
+    use pt_wire::{Transport, UdpDatagram};
+    use std::sync::Arc;
+
+    fn two_hop() -> (SimTransport, Ipv4Addr) {
+        let mut b = TopologyBuilder::new();
+        let s = b.host("S", HostConfig::default());
+        let r = b.router("r", RouterConfig::default());
+        let d = b.host("D", HostConfig::default());
+        b.link(s, r, SimDuration::from_millis(5), 0.0);
+        b.link(r, d, SimDuration::from_millis(5), 0.0);
+        b.default_via(s, r);
+        b.default_via(r, d);
+        b.default_via(d, r);
+        let s_pfx = b.subnet_of(s);
+        b.route_via(r, s_pfx, s);
+        let dst = b.addr_of(d);
+        let topo = Arc::new(b.build());
+        let sim = Simulator::new(topo, 1);
+        (SimTransport::new(sim, s), dst)
+    }
+
+    fn probe(src: Ipv4Addr, dst: Ipv4Addr, ttl: u8) -> Packet {
+        let ip = Ipv4Header::new(src, dst, protocol::UDP, ttl);
+        Packet::new(ip, Transport::Udp(UdpDatagram::new(40000, 33435, vec![0; 4])))
+    }
+
+    #[test]
+    fn recv_advances_clock_to_arrival() {
+        let (mut tx, dst) = two_hop();
+        let src = tx.source_addr();
+        tx.send(probe(src, dst, 1));
+        let deadline = tx.now() + SimDuration::from_secs(2);
+        let (at, resp) = tx.recv_until(deadline).expect("response expected");
+        assert_eq!(at, tx.now());
+        assert_eq!(at.nanos(), SimDuration::from_millis(10).nanos(), "5ms out + 5ms back");
+        assert_eq!(resp.ip.ttl, 255, "no intermediate routers on the return path");
+    }
+
+    #[test]
+    fn timeout_advances_clock_to_deadline() {
+        let (mut tx, dst) = two_hop();
+        let src = tx.source_addr();
+        // TTL 0 probes die at the first router silently? No — TTL 0
+        // arriving at r expires with Time Exceeded. Use an unroutable
+        // destination instead: d's subnet is routed, so pick an address
+        // in no table.
+        let _ = (src, dst);
+        let bogus = Ipv4Addr::new(203, 0, 113, 99);
+        tx.send(probe(src, bogus, 9));
+        let deadline = tx.now() + SimDuration::from_secs(2);
+        assert!(tx.recv_until(deadline).is_none());
+        assert_eq!(tx.now(), deadline, "clock parked at the deadline");
+    }
+
+    #[test]
+    fn multiple_outstanding_responses_arrive_in_order() {
+        let (mut tx, dst) = two_hop();
+        let src = tx.source_addr();
+        tx.send(probe(src, dst, 1)); // expires at r: 10ms RTT
+        tx.send(probe(src, dst, 9)); // reaches d: 20ms RTT
+        let deadline = tx.now() + SimDuration::from_secs(2);
+        let first = tx.recv_until(deadline).unwrap();
+        let second = tx.recv_until(deadline).unwrap();
+        assert!(first.0 <= second.0);
+    }
+}

@@ -1,0 +1,164 @@
+//! RFC 1071 Internet checksum, with incremental-update helpers.
+//!
+//! Everything that distinguishes Paris traceroute from its predecessors
+//! ultimately reduces to checksum arithmetic: Paris needs to *choose* the
+//! UDP checksum value (its per-probe identifier) and then solve for payload
+//! bytes that make the packet valid, and it needs to vary the ICMP Echo
+//! Identifier and Sequence Number jointly so that their sum — and hence the
+//! ICMP checksum in the first four octets — stays constant.
+
+/// One's-complement accumulator for the Internet checksum.
+///
+/// Fold 16-bit big-endian words into the accumulator with [`Checksum::add_word`]
+/// or whole buffers with [`Checksum::add_bytes`], then call
+/// [`Checksum::finish`] for the complemented 16-bit result.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Checksum {
+    sum: u32,
+}
+
+impl Checksum {
+    /// Fresh accumulator (sum = 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one 16-bit word.
+    pub fn add_word(&mut self, word: u16) {
+        self.sum += u32::from(word);
+        while self.sum > 0xffff {
+            self.sum = (self.sum & 0xffff) + (self.sum >> 16);
+        }
+    }
+
+    /// Fold a byte slice, padding an odd trailing byte with zero
+    /// (high-order position, per RFC 1071).
+    pub fn add_bytes(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(2);
+        for chunk in &mut chunks {
+            self.add_word(u16::from_be_bytes([chunk[0], chunk[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            self.add_word(u16::from_be_bytes([*last, 0]));
+        }
+    }
+
+    /// The current one's-complement sum, not complemented, folded to 16 bits.
+    pub fn raw(&self) -> u16 {
+        self.sum as u16
+    }
+
+    /// The complemented checksum ready to be written into a header field.
+    pub fn finish(&self) -> u16 {
+        !self.raw()
+    }
+}
+
+/// Compute the Internet checksum over `bytes` in one call.
+pub fn internet_checksum(bytes: &[u8]) -> u16 {
+    let mut c = Checksum::new();
+    c.add_bytes(bytes);
+    c.finish()
+}
+
+/// One's-complement addition of two 16-bit words (end-around carry).
+pub fn ones_add(a: u16, b: u16) -> u16 {
+    let sum = u32::from(a) + u32::from(b);
+    ((sum & 0xffff) + (sum >> 16)) as u16
+}
+
+/// One's-complement subtraction: `a -' b`.
+pub fn ones_sub(a: u16, b: u16) -> u16 {
+    ones_add(a, !b)
+}
+
+/// Incrementally update a checksum after a 16-bit field changed from
+/// `old` to `new` (RFC 1624, eqn. 3): `HC' = ~(~HC + ~m + m')`.
+pub fn update(checksum: u16, old: u16, new: u16) -> u16 {
+    !ones_add(ones_add(!checksum, !old), new)
+}
+
+/// Solve for the 16-bit payload word that makes a packet whose checksum
+/// field has been *pinned* to `target` actually verify.
+///
+/// This is the Paris traceroute UDP trick. Let `partial` be the one's-
+/// complement sum (not complemented) of the pseudo-header plus all packet
+/// words *except* one 16-bit payload slot that is free, and with the
+/// checksum field itself counted at the pinned `target` value. For the
+/// packet to verify, the grand total must be `0xffff`, so the free word
+/// must be `0xffff -' partial`.
+pub fn solve_payload_word(partial_sum: u16, _target: u16) -> u16 {
+    // `partial_sum` already includes `target` folded in; the free word must
+    // bring the one's-complement total to 0xffff.
+    ones_sub(0xffff, partial_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // The classic example from RFC 1071 §3: words 0x0001, 0xf203,
+        // 0xf4f5, 0xf6f7 sum to 0xddf2 (with carries), checksum = ~0xddf2.
+        let bytes = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(internet_checksum(&bytes), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        // 0xab00 is the padded word for a single trailing byte 0xab.
+        assert_eq!(internet_checksum(&[0xab]), !0xab00);
+    }
+
+    #[test]
+    fn empty_buffer_checksums_to_ffff() {
+        assert_eq!(internet_checksum(&[]), 0xffff);
+    }
+
+    #[test]
+    fn checksum_of_valid_packet_is_zero_sum() {
+        // If we embed the checksum into the data, the total folds to 0xffff
+        // (i.e. the verification sum's complement is zero).
+        let data = [0x45, 0x00, 0x00, 0x1c, 0x12, 0x34];
+        let ck = internet_checksum(&data);
+        let mut c = Checksum::new();
+        c.add_bytes(&data);
+        c.add_word(ck);
+        assert_eq!(c.raw(), 0xffff);
+    }
+
+    #[test]
+    fn ones_add_carries_around() {
+        assert_eq!(ones_add(0xffff, 0x0001), 0x0001);
+        assert_eq!(ones_add(0x8000, 0x8000), 0x0001);
+        assert_eq!(ones_add(0x1234, 0x0000), 0x1234);
+    }
+
+    #[test]
+    fn incremental_update_matches_recompute() {
+        let mut data = vec![0x45u8, 0x00, 0x00, 0x54, 0xbe, 0xef, 0x40, 0x00, 0x40, 0x11];
+        let before = internet_checksum(&data);
+        // Change the word at offset 4 from 0xbeef to 0x1234.
+        let updated = update(before, 0xbeef, 0x1234);
+        data[4] = 0x12;
+        data[5] = 0x34;
+        assert_eq!(internet_checksum(&data), updated);
+    }
+
+    #[test]
+    fn solve_payload_word_produces_verifying_packet() {
+        // Construct a fake "packet": header words + pinned checksum + one
+        // free payload word. Verify the solved word makes the total 0xffff.
+        let header_words = [0x1234u16, 0xabcd, 0x0102];
+        let target = 0x7777u16; // the checksum value we want to pin
+        let mut c = Checksum::new();
+        for w in header_words {
+            c.add_word(w);
+        }
+        c.add_word(target);
+        let free = solve_payload_word(c.raw(), target);
+        c.add_word(free);
+        assert_eq!(c.raw(), 0xffff);
+    }
+}

@@ -1,0 +1,200 @@
+//! IPv4 header representation, emit and parse.
+//!
+//! A 20-byte header without options — traceroute probes and ICMP responses
+//! never carry IP options in the paper's study, and per-flow load balancers
+//! that we model never inspect them.
+
+use std::net::Ipv4Addr;
+
+use crate::checksum::internet_checksum;
+use crate::ParseError;
+
+/// Length of the fixed IPv4 header (no options), in octets.
+pub const HEADER_LEN: usize = 20;
+
+/// IP protocol numbers used in this stack.
+pub mod protocol {
+    /// ICMPv4.
+    pub const ICMP: u8 = 1;
+    /// TCP.
+    pub const TCP: u8 = 6;
+    /// UDP.
+    pub const UDP: u8 = 17;
+}
+
+/// A parsed (or to-be-emitted) IPv4 header.
+///
+/// `total_length` counts header plus payload; `checksum` is recomputed on
+/// emit, so builders may leave it zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ipv4Header {
+    /// Type of Service. One of the fields the paper found some load
+    /// balancers hash on.
+    pub tos: u8,
+    /// Header + payload length in octets.
+    pub total_length: u16,
+    /// The Identification field. tcptraceroute varies this per probe; the
+    /// replying router sets it from an internal 16-bit counter, which is
+    /// what makes Bellovin-style router disambiguation possible.
+    pub identification: u16,
+    /// Flags (3 bits) and fragment offset (13 bits), packed as on the wire.
+    pub flags_fragment: u16,
+    /// Time to live — the field traceroute exists to abuse.
+    pub ttl: u8,
+    /// Transport protocol number (see [`protocol`]).
+    pub protocol: u8,
+    /// Header checksum as read off the wire (recomputed on emit).
+    pub checksum: u16,
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+}
+
+impl Ipv4Header {
+    /// A fresh header with sensible defaults for a probe packet.
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, protocol: u8, ttl: u8) -> Self {
+        Ipv4Header {
+            tos: 0,
+            total_length: HEADER_LEN as u16,
+            identification: 0,
+            flags_fragment: 0,
+            ttl,
+            protocol,
+            checksum: 0,
+            src,
+            dst,
+        }
+    }
+
+    /// Serialize into `buf`, recomputing the header checksum.
+    /// `buf` must be at least [`HEADER_LEN`] bytes.
+    pub fn emit(&self, buf: &mut [u8]) {
+        assert!(buf.len() >= HEADER_LEN, "ipv4 emit buffer too short");
+        buf[0] = 0x45; // version 4, IHL 5
+        buf[1] = self.tos;
+        buf[2..4].copy_from_slice(&self.total_length.to_be_bytes());
+        buf[4..6].copy_from_slice(&self.identification.to_be_bytes());
+        buf[6..8].copy_from_slice(&self.flags_fragment.to_be_bytes());
+        buf[8] = self.ttl;
+        buf[9] = self.protocol;
+        buf[10..12].copy_from_slice(&[0, 0]);
+        buf[12..16].copy_from_slice(&self.src.octets());
+        buf[16..20].copy_from_slice(&self.dst.octets());
+        let ck = internet_checksum(&buf[..HEADER_LEN]);
+        buf[10..12].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Parse a header from the front of `buf`, verifying version, IHL and
+    /// the header checksum.
+    pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
+        if buf.len() < HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        if buf[0] != 0x45 {
+            // We only speak IPv4 without options.
+            return Err(ParseError::Unsupported);
+        }
+        if internet_checksum(&buf[..HEADER_LEN]) != 0 {
+            return Err(ParseError::BadChecksum);
+        }
+        let total_length = u16::from_be_bytes([buf[2], buf[3]]);
+        if usize::from(total_length) < HEADER_LEN {
+            return Err(ParseError::BadLength);
+        }
+        Ok(Ipv4Header {
+            tos: buf[1],
+            total_length,
+            identification: u16::from_be_bytes([buf[4], buf[5]]),
+            flags_fragment: u16::from_be_bytes([buf[6], buf[7]]),
+            ttl: buf[8],
+            protocol: buf[9],
+            checksum: u16::from_be_bytes([buf[10], buf[11]]),
+            src: Ipv4Addr::new(buf[12], buf[13], buf[14], buf[15]),
+            dst: Ipv4Addr::new(buf[16], buf[17], buf[18], buf[19]),
+        })
+    }
+
+    /// The pseudo-header one's-complement sum used by UDP and TCP
+    /// checksums, covering src, dst, protocol and transport length.
+    pub fn pseudo_header_sum(&self, transport_len: u16) -> crate::checksum::Checksum {
+        let mut c = crate::checksum::Checksum::new();
+        c.add_bytes(&self.src.octets());
+        c.add_bytes(&self.dst.octets());
+        c.add_word(u16::from(self.protocol));
+        c.add_word(transport_len);
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Header {
+        let mut h = Ipv4Header::new(
+            Ipv4Addr::new(132, 227, 1, 10),
+            Ipv4Addr::new(192, 0, 2, 55),
+            protocol::UDP,
+            7,
+        );
+        h.tos = 0x10;
+        h.identification = 0xbeef;
+        h.total_length = 48;
+        h
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let h = sample();
+        let mut buf = [0u8; HEADER_LEN];
+        h.emit(&mut buf);
+        let parsed = Ipv4Header::parse(&buf).unwrap();
+        assert_eq!(parsed.src, h.src);
+        assert_eq!(parsed.dst, h.dst);
+        assert_eq!(parsed.ttl, 7);
+        assert_eq!(parsed.tos, 0x10);
+        assert_eq!(parsed.identification, 0xbeef);
+        assert_eq!(parsed.total_length, 48);
+        assert_eq!(parsed.protocol, protocol::UDP);
+    }
+
+    #[test]
+    fn emitted_header_checksum_verifies() {
+        let h = sample();
+        let mut buf = [0u8; HEADER_LEN];
+        h.emit(&mut buf);
+        assert_eq!(internet_checksum(&buf), 0);
+    }
+
+    #[test]
+    fn corrupt_byte_fails_checksum() {
+        let h = sample();
+        let mut buf = [0u8; HEADER_LEN];
+        h.emit(&mut buf);
+        buf[8] ^= 0xff; // flip the TTL
+        assert_eq!(Ipv4Header::parse(&buf), Err(ParseError::BadChecksum));
+    }
+
+    #[test]
+    fn truncated_buffer_rejected() {
+        assert_eq!(Ipv4Header::parse(&[0x45; 10]), Err(ParseError::Truncated));
+    }
+
+    #[test]
+    fn options_rejected() {
+        let mut buf = [0u8; 24];
+        buf[0] = 0x46; // IHL 6 → options present
+        assert_eq!(Ipv4Header::parse(&buf), Err(ParseError::Unsupported));
+    }
+
+    #[test]
+    fn bad_total_length_rejected() {
+        let h = sample();
+        let mut buf = [0u8; HEADER_LEN];
+        let mut short = h;
+        short.total_length = 10; // less than the header itself
+        short.emit(&mut buf);
+        assert_eq!(Ipv4Header::parse(&buf), Err(ParseError::BadLength));
+    }
+}

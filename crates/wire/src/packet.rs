@@ -1,0 +1,206 @@
+//! A full IPv4 packet: header plus transport payload, with whole-packet
+//! emit/parse. This is the unit the simulator forwards and the tracer
+//! sends/receives.
+
+use std::net::Ipv4Addr;
+
+use crate::icmp::IcmpMessage;
+use crate::ipv4::{protocol, Ipv4Header, HEADER_LEN};
+use crate::tcp::TcpSegment;
+use crate::udp::UdpDatagram;
+use crate::ParseError;
+
+/// Transport-layer content of a packet.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Transport {
+    /// UDP datagram.
+    Udp(UdpDatagram),
+    /// TCP segment.
+    Tcp(TcpSegment),
+    /// ICMP message.
+    Icmp(IcmpMessage),
+}
+
+impl Transport {
+    /// IP protocol number for this transport.
+    pub fn protocol(&self) -> u8 {
+        match self {
+            Transport::Udp(_) => protocol::UDP,
+            Transport::Tcp(_) => protocol::TCP,
+            Transport::Icmp(_) => protocol::ICMP,
+        }
+    }
+
+    /// Emitted length in octets.
+    pub fn len(&self) -> usize {
+        match self {
+            Transport::Udp(u) => u.len(),
+            Transport::Tcp(t) => t.len(),
+            Transport::Icmp(i) => i.len(),
+        }
+    }
+
+    /// True when the transport would emit zero octets (never the case).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A complete IPv4 packet.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Packet {
+    /// Network header. `total_length`, `protocol` and checksum are fixed up
+    /// on emit to match the transport.
+    pub ip: Ipv4Header,
+    /// Transport content.
+    pub transport: Transport,
+}
+
+impl Packet {
+    /// Assemble a packet, fixing up `total_length` and `protocol`.
+    pub fn new(mut ip: Ipv4Header, transport: Transport) -> Self {
+        ip.protocol = transport.protocol();
+        ip.total_length = (HEADER_LEN + transport.len()) as u16;
+        Packet { ip, transport }
+    }
+
+    /// Source address shorthand.
+    pub fn src(&self) -> Ipv4Addr {
+        self.ip.src
+    }
+
+    /// Destination address shorthand.
+    pub fn dst(&self) -> Ipv4Addr {
+        self.ip.dst
+    }
+
+    /// Emitted length in octets.
+    pub fn len(&self) -> usize {
+        HEADER_LEN + self.transport.len()
+    }
+
+    /// True when the packet would emit zero octets (never the case).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Serialize the whole packet to fresh bytes. The IP header emitted
+    /// reflects the *current* `ip.ttl`, so re-emitting after a TTL
+    /// decrement produces the bytes the next hop sees.
+    pub fn emit(&self) -> Vec<u8> {
+        let mut ip = self.ip;
+        ip.protocol = self.transport.protocol();
+        ip.total_length = (HEADER_LEN + self.transport.len()) as u16;
+        let mut buf = vec![0u8; HEADER_LEN + self.transport.len()];
+        ip.emit(&mut buf[..HEADER_LEN]);
+        match &self.transport {
+            Transport::Udp(u) => u.emit(&mut buf[HEADER_LEN..], &ip),
+            Transport::Tcp(t) => t.emit(&mut buf[HEADER_LEN..], &ip),
+            Transport::Icmp(i) => i.emit(&mut buf[HEADER_LEN..]),
+        }
+        buf
+    }
+
+    /// Parse a packet from raw bytes, verifying all checksums.
+    pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
+        let ip = Ipv4Header::parse(buf)?;
+        let end = usize::from(ip.total_length).min(buf.len());
+        let body = &buf[HEADER_LEN..end];
+        let transport = match ip.protocol {
+            protocol::UDP => Transport::Udp(UdpDatagram::parse(body, &ip)?),
+            protocol::TCP => Transport::Tcp(TcpSegment::parse(body, &ip)?),
+            protocol::ICMP => Transport::Icmp(IcmpMessage::parse(body)?),
+            _ => return Err(ParseError::Unsupported),
+        };
+        Ok(Packet { ip, transport })
+    }
+
+    /// The transport bytes as they appear on the wire — what a router
+    /// would quote into a Time Exceeded message.
+    pub fn transport_bytes(&self) -> Vec<u8> {
+        self.emit()[HEADER_LEN..].to_vec()
+    }
+
+    /// The first eight transport octets (zero-padded), i.e. the region a
+    /// router quotes and a tracer matches on.
+    pub fn transport_prefix(&self) -> [u8; 8] {
+        let bytes = self.transport_bytes();
+        let mut out = [0u8; 8];
+        let n = bytes.len().min(8);
+        out[..n].copy_from_slice(&bytes[..n]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::icmp::Quotation;
+
+    fn addr(a: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 0, 0, a)
+    }
+
+    fn udp_probe(ttl: u8, dst_port: u16) -> Packet {
+        let ip = Ipv4Header::new(addr(1), addr(2), protocol::UDP, ttl);
+        Packet::new(ip, Transport::Udp(UdpDatagram::new(33768, dst_port, vec![0; 12])))
+    }
+
+    #[test]
+    fn udp_packet_round_trip() {
+        let p = udp_probe(5, 33435);
+        let parsed = Packet::parse(&p.emit()).unwrap();
+        assert_eq!(parsed.ip.ttl, 5);
+        match parsed.transport {
+            Transport::Udp(u) => assert_eq!(u.dst_port, 33435),
+            other => panic!("wrong transport: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tcp_packet_round_trip() {
+        let ip = Ipv4Header::new(addr(1), addr(2), protocol::TCP, 9);
+        let p = Packet::new(ip, Transport::Tcp(TcpSegment::syn_probe(50000, 80, 42)));
+        let parsed = Packet::parse(&p.emit()).unwrap();
+        match parsed.transport {
+            Transport::Tcp(t) => assert_eq!(t.seq, 42),
+            other => panic!("wrong transport: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn icmp_time_exceeded_round_trip() {
+        let probe = udp_probe(1, 33436);
+        let q = Quotation::from_probe(probe.ip, &probe.transport_bytes());
+        let ip = Ipv4Header::new(addr(9), addr(1), protocol::ICMP, 255);
+        let p = Packet::new(ip, Transport::Icmp(IcmpMessage::TimeExceeded { quotation: q }));
+        let parsed = Packet::parse(&p.emit()).unwrap();
+        match parsed.transport {
+            Transport::Icmp(IcmpMessage::TimeExceeded { quotation }) => {
+                assert_eq!(quotation.ip.dst, addr(2));
+                assert_eq!(quotation.ip.ttl, 1);
+            }
+            other => panic!("wrong transport: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transport_prefix_is_first_eight_octets() {
+        let p = udp_probe(3, 34000);
+        let prefix = p.transport_prefix();
+        let bytes = p.transport_bytes();
+        assert_eq!(&prefix[..], &bytes[..8]);
+        // For UDP: src port, dst port, length, checksum.
+        assert_eq!(u16::from_be_bytes([prefix[0], prefix[1]]), 33768);
+        assert_eq!(u16::from_be_bytes([prefix[2], prefix[3]]), 34000);
+    }
+
+    #[test]
+    fn unknown_protocol_rejected() {
+        let mut ip = Ipv4Header::new(addr(1), addr(2), 47, 5); // GRE
+        ip.total_length = HEADER_LEN as u16;
+        let mut buf = vec![0u8; HEADER_LEN];
+        ip.emit(&mut buf);
+        assert_eq!(Packet::parse(&buf), Err(ParseError::Unsupported));
+    }
+}

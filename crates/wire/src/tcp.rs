@@ -1,0 +1,204 @@
+//! TCP segment representation (the subset traceroute needs).
+//!
+//! Paris traceroute's TCP mode, like Toren's tcptraceroute, keeps Source
+//! and Destination Port constant (typically port 80, emulating web traffic,
+//! to traverse firewalls) so the first four transport octets never change.
+//! It tags probes through the Sequence Number, which sits in octets 5–8.
+
+use crate::checksum::Checksum;
+use crate::ipv4::Ipv4Header;
+use crate::ParseError;
+
+/// Length of a TCP header without options, in octets.
+pub const HEADER_LEN: usize = 20;
+
+/// TCP control bits.
+pub mod flags {
+    /// Synchronize — what a tcptraceroute probe carries.
+    pub const SYN: u8 = 0x02;
+    /// Acknowledge.
+    pub const ACK: u8 = 0x10;
+    /// Reset.
+    pub const RST: u8 = 0x04;
+    /// Finish.
+    pub const FIN: u8 = 0x01;
+}
+
+/// A TCP segment: fixed header (no options) plus owned payload.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TcpSegment {
+    /// Source port (constant across a Paris TCP trace).
+    pub src_port: u16,
+    /// Destination port (80 by default for tcptraceroute).
+    pub dst_port: u16,
+    /// Sequence number — Paris traceroute's TCP probe identifier.
+    pub seq: u32,
+    /// Acknowledgment number.
+    pub ack: u32,
+    /// Control bits (see [`flags`]).
+    pub control: u8,
+    /// Receive window.
+    pub window: u16,
+    /// Checksum as read off the wire (recomputed on emit).
+    pub checksum: u16,
+    /// Urgent pointer.
+    pub urgent: u16,
+    /// Payload octets (probes carry none).
+    pub payload: Vec<u8>,
+}
+
+impl TcpSegment {
+    /// A SYN probe like tcptraceroute sends.
+    pub fn syn_probe(src_port: u16, dst_port: u16, seq: u32) -> Self {
+        TcpSegment {
+            src_port,
+            dst_port,
+            seq,
+            ack: 0,
+            control: flags::SYN,
+            window: 5840,
+            checksum: 0,
+            urgent: 0,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Total length (header + payload) in octets.
+    pub fn len(&self) -> usize {
+        HEADER_LEN + self.payload.len()
+    }
+
+    /// True when there is no payload.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// Serialize into `buf`, computing the checksum over the pseudo-header.
+    pub fn emit(&self, buf: &mut [u8], ip: &Ipv4Header) {
+        let len = self.len();
+        assert!(buf.len() >= len, "tcp emit buffer too short");
+        buf[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        buf[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        buf[4..8].copy_from_slice(&self.seq.to_be_bytes());
+        buf[8..12].copy_from_slice(&self.ack.to_be_bytes());
+        buf[12] = (5 << 4) as u8; // data offset 5 words, no options
+        buf[13] = self.control;
+        buf[14..16].copy_from_slice(&self.window.to_be_bytes());
+        buf[16..18].copy_from_slice(&[0, 0]);
+        buf[18..20].copy_from_slice(&self.urgent.to_be_bytes());
+        buf[20..len].copy_from_slice(&self.payload);
+        let mut c: Checksum = ip.pseudo_header_sum(len as u16);
+        c.add_bytes(&buf[..len]);
+        let ck = c.finish();
+        buf[16..18].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Parse from `buf`, verifying checksum and data offset.
+    pub fn parse(buf: &[u8], ip: &Ipv4Header) -> Result<Self, ParseError> {
+        if buf.len() < HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let data_offset = usize::from(buf[12] >> 4) * 4;
+        if data_offset < HEADER_LEN {
+            return Err(ParseError::BadLength);
+        }
+        if data_offset > buf.len() {
+            return Err(ParseError::Truncated);
+        }
+        if data_offset != HEADER_LEN {
+            // We never emit options; reject rather than silently skip.
+            return Err(ParseError::Unsupported);
+        }
+        let mut c = ip.pseudo_header_sum(buf.len() as u16);
+        c.add_bytes(buf);
+        if c.raw() != 0xffff {
+            return Err(ParseError::BadChecksum);
+        }
+        Ok(TcpSegment {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            seq: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+            ack: u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]),
+            control: buf[13],
+            window: u16::from_be_bytes([buf[14], buf[15]]),
+            checksum: u16::from_be_bytes([buf[16], buf[17]]),
+            urgent: u16::from_be_bytes([buf[18], buf[19]]),
+            payload: buf[HEADER_LEN..].to_vec(),
+        })
+    }
+
+    /// The first four octets of the header (source + destination port) —
+    /// the load-balancer hash region.
+    pub fn first_four_octets(&self) -> [u8; 4] {
+        let s = self.src_port.to_be_bytes();
+        let d = self.dst_port.to_be_bytes();
+        [s[0], s[1], d[0], d[1]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv4::protocol;
+    use std::net::Ipv4Addr;
+
+    fn ip_for(len: usize) -> Ipv4Header {
+        let mut ip = Ipv4Header::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(203, 0, 113, 80),
+            protocol::TCP,
+            32,
+        );
+        ip.total_length = (crate::ipv4::HEADER_LEN + len) as u16;
+        ip
+    }
+
+    #[test]
+    fn emit_parse_round_trip() {
+        let seg = TcpSegment::syn_probe(54321, 80, 0xdeadbeef);
+        let ip = ip_for(seg.len());
+        let mut buf = vec![0u8; seg.len()];
+        seg.emit(&mut buf, &ip);
+        let parsed = TcpSegment::parse(&buf, &ip).unwrap();
+        assert_eq!(parsed.src_port, 54321);
+        assert_eq!(parsed.dst_port, 80);
+        assert_eq!(parsed.seq, 0xdeadbeef);
+        assert_eq!(parsed.control, flags::SYN);
+    }
+
+    #[test]
+    fn corrupted_segment_fails_checksum() {
+        let seg = TcpSegment::syn_probe(54321, 80, 1);
+        let ip = ip_for(seg.len());
+        let mut buf = vec![0u8; seg.len()];
+        seg.emit(&mut buf, &ip);
+        buf[4] ^= 0x80;
+        assert_eq!(TcpSegment::parse(&buf, &ip), Err(ParseError::BadChecksum));
+    }
+
+    #[test]
+    fn varying_seq_leaves_first_four_octets_constant() {
+        let a = TcpSegment::syn_probe(54321, 80, 100);
+        let b = TcpSegment::syn_probe(54321, 80, 9999);
+        assert_eq!(a.first_four_octets(), b.first_four_octets());
+    }
+
+    #[test]
+    fn options_rejected() {
+        let seg = TcpSegment::syn_probe(1, 2, 3);
+        let ip = ip_for(seg.len());
+        let mut buf = vec![0u8; seg.len()];
+        seg.emit(&mut buf, &ip);
+        buf[12] = 6 << 4; // pretend there are options
+        assert!(matches!(
+            TcpSegment::parse(&buf, &ip),
+            Err(ParseError::Truncated) | Err(ParseError::Unsupported)
+        ));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let ip = ip_for(HEADER_LEN);
+        assert_eq!(TcpSegment::parse(&[0; 10], &ip), Err(ParseError::Truncated));
+    }
+}

@@ -1,0 +1,54 @@
+//! The paper's future work, working: enumerate every interface of every
+//! load balancer toward a destination (MDA stopping rule) and classify
+//! each balanced hop as per-flow or per-packet.
+//!
+//! ```sh
+//! cargo run --example multipath_explorer
+//! ```
+
+use pt_mda::{classify_balancer, enumerate, MdaConfig};
+use pt_netsim::node::BalancerKind;
+use pt_netsim::{scenarios, SimTransport, Simulator};
+use pt_wire::FlowPolicy;
+
+fn explore(label: &str, sc: &scenarios::Scenario, seed: u64) {
+    println!("== {label} ==");
+    let mut tx = SimTransport::new(Simulator::new(sc.topology.clone(), seed), sc.source);
+    let config = MdaConfig::default();
+    let map = enumerate(&mut tx, sc.destination, &config);
+    for hop in &map.hops {
+        let addrs: Vec<String> = hop.interfaces.iter().map(|a| a.to_string()).collect();
+        let width = hop.interfaces.len();
+        let class = if width >= 2 {
+            format!(
+                " — {:?}",
+                classify_balancer(&mut tx, sc.destination, hop.ttl, 12, &config)
+            )
+        } else {
+            String::new()
+        };
+        println!(
+            "  ttl {:>2}: [{}] ({} probes{}{})",
+            hop.ttl,
+            addrs.join(", "),
+            hop.probes_sent,
+            if hop.converged { "" } else { ", budget hit" },
+            class,
+        );
+    }
+    println!("  total probes: {}\n", map.total_probes);
+}
+
+fn main() {
+    explore(
+        "Fig. 6 topology, per-flow balancers",
+        &scenarios::fig6(BalancerKind::PerFlow(FlowPolicy::FiveTuple)),
+        11,
+    );
+    explore(
+        "Fig. 6 topology, per-packet balancers",
+        &scenarios::fig6(BalancerKind::PerPacket),
+        11,
+    );
+    explore("plain chain (no balancing)", &scenarios::linear(6), 11);
+}

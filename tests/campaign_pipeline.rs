@@ -1,0 +1,143 @@
+//! Integration tests for the full campaign pipeline: topology generation
+//! → sharded side-by-side probing → anomaly accumulation → attribution.
+
+use paris_traceroute_repro::campaign::{run, validate_causes, CampaignConfig, DynamicsConfig};
+use paris_traceroute_repro::topogen::{generate, InternetConfig};
+use pt_anomaly::stats::{FinalCycleCause, FinalLoopCause};
+
+fn small_net(seed: u64) -> pt_topogen::SyntheticInternet {
+    generate(&InternetConfig { seed, n_destinations: 150, ..InternetConfig::default() })
+}
+
+#[test]
+fn shard_count_does_not_change_totals() {
+    // Shards partition destinations; total routes and destinations are
+    // invariant to the partitioning.
+    let net = small_net(44);
+    for shards in [1, 3, 8] {
+        let result = run(
+            &net,
+            &CampaignConfig { rounds: 2, shards, seed: 9, ..CampaignConfig::default() },
+        );
+        assert_eq!(result.classic_report.routes_total, 300, "shards = {shards}");
+        assert_eq!(result.classic_report.destinations, 150);
+        assert_eq!(result.paris_report.routes_total, 300);
+    }
+}
+
+#[test]
+fn paris_dominates_classic_on_every_anomaly_family() {
+    let net = small_net(45);
+    let result = run(
+        &net,
+        &CampaignConfig { rounds: 10, shards: 8, seed: 10, ..CampaignConfig::default() },
+    );
+    let c = &result.classic_report;
+    let p = &result.paris_report;
+    assert!(c.pct_routes_with_loop >= p.pct_routes_with_loop);
+    assert!(c.diamonds_total >= p.diamonds_total);
+    // Both tools reach the vast majority of (non-firewalled) destinations.
+    assert!(c.pct_routes_reaching_destination > 80.0);
+    assert!(p.pct_routes_reaching_destination > 80.0);
+}
+
+#[test]
+fn attribution_covers_every_classic_loop() {
+    // Percentages over classic loop instances must sum to ~100.
+    let net = small_net(46);
+    let result = run(
+        &net,
+        &CampaignConfig { rounds: 8, shards: 8, seed: 11, ..CampaignConfig::default() },
+    );
+    if result.classic.loop_instance_count() == 0 {
+        return; // nothing to attribute at this seed/scale
+    }
+    let total: f64 = [
+        FinalLoopCause::PerFlowLoadBalancing,
+        FinalLoopCause::ZeroTtlForwarding,
+        FinalLoopCause::Unreachability,
+        FinalLoopCause::AddressRewriting,
+        FinalLoopCause::PerPacketSuspected,
+    ]
+    .into_iter()
+    .map(|cause| result.comparison.loop_pct(cause))
+    .sum();
+    assert!((total - 100.0).abs() < 1e-6, "loop attribution sums to {total}");
+    let cycle_total: f64 = [
+        FinalCycleCause::PerFlowLoadBalancing,
+        FinalCycleCause::ForwardingLoop,
+        FinalCycleCause::Unreachability,
+        FinalCycleCause::Other,
+    ]
+    .into_iter()
+    .map(|cause| result.comparison.cycle_pct(cause))
+    .sum();
+    if result.classic.cycle_instance_count() > 0 {
+        assert!((cycle_total - 100.0).abs() < 1e-6, "cycle attribution sums to {cycle_total}");
+    }
+}
+
+#[test]
+fn dynamics_off_means_no_forwarding_loop_cycles() {
+    let net = small_net(47);
+    let result = run(
+        &net,
+        &CampaignConfig {
+            rounds: 6,
+            shards: 8,
+            seed: 12,
+            dynamics: DynamicsConfig::none(),
+            ..CampaignConfig::default()
+        },
+    );
+    assert_eq!(
+        result.comparison.cycle_pct(FinalCycleCause::ForwardingLoop),
+        0.0,
+        "no routing dynamics → no forwarding loops"
+    );
+}
+
+#[test]
+fn validation_never_reports_more_hits_than_flags() {
+    let net = small_net(48);
+    let result = run(
+        &net,
+        &CampaignConfig {
+            rounds: 4,
+            shards: 4,
+            seed: 13,
+            keep_routes: true,
+            ..CampaignConfig::default()
+        },
+    );
+    let v = validate_causes(&net, &result.routes, &result.classic, &result.paris);
+    for score in [v.zero_ttl, v.rewriting, v.unreachability, v.per_flow] {
+        assert!(score.hits <= score.flagged);
+        assert!(score.hits <= score.truth_positives);
+        assert!((0.0..=1.0).contains(&score.precision()));
+        assert!((0.0..=1.0).contains(&score.recall()));
+    }
+}
+
+#[test]
+fn keep_routes_records_both_tools_every_round() {
+    let net = small_net(49);
+    let rounds = 3;
+    let result = run(
+        &net,
+        &CampaignConfig {
+            rounds,
+            shards: 4,
+            seed: 14,
+            keep_routes: true,
+            ..CampaignConfig::default()
+        },
+    );
+    assert_eq!(result.routes.len(), 150 * rounds * 2);
+    let classic = result
+        .routes
+        .iter()
+        .filter(|(t, _, _)| *t == pt_core::StrategyId::ClassicUdp)
+        .count();
+    assert_eq!(classic, 150 * rounds);
+}
