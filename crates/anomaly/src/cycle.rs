@@ -93,11 +93,7 @@ fn classify(
     first: usize,
     second: usize,
 ) -> CycleCause {
-    if route.hops[second].probes[0]
-        .kind
-        .and_then(|k| k.unreachable_flag())
-        .is_some()
-    {
+    if route.hops[second].probes[0].kind.and_then(|k| k.unreachable_flag()).is_some() {
         return CycleCause::Unreachability;
     }
     let p = second - first;
@@ -130,8 +126,7 @@ pub fn find_cycles(route: &MeasuredRoute) -> Vec<CycleInstance> {
         }
         let prev = occ[pos - 1];
         // Cyclic only if some *distinct address* sits strictly between.
-        let separated =
-            addrs[prev + 1..i].iter().any(|x| matches!(x, Some(b) if *b != a));
+        let separated = addrs[prev + 1..i].iter().any(|x| matches!(x, Some(b) if *b != a));
         if separated {
             out.push(CycleInstance {
                 first: prev,
@@ -187,11 +182,7 @@ mod tests {
 
     #[test]
     fn detects_a_simple_cycle() {
-        let r = route_of(vec![
-            probe(Some(2), 1),
-            probe(Some(3), 1),
-            probe(Some(2), 2),
-        ]);
+        let r = route_of(vec![probe(Some(2), 1), probe(Some(3), 1), probe(Some(2), 2)]);
         let cycles = find_cycles(&r);
         assert_eq!(cycles.len(), 1);
         assert_eq!(cycles[0].addr, addr(2));
@@ -222,10 +213,7 @@ mod tests {
         ]);
         let cycles = find_cycles(&r);
         assert!(!cycles.is_empty());
-        assert!(
-            cycles.iter().all(|c| c.cause == CycleCause::ForwardingLoop),
-            "{cycles:?}"
-        );
+        assert!(cycles.iter().all(|c| c.cause == CycleCause::ForwardingLoop), "{cycles:?}");
     }
 
     #[test]

@@ -183,14 +183,10 @@ mod tests {
             g.ingest(&route_of(vec![vec![l], vec![m1], vec![m2], vec![g_]]));
         }
         let sigs = g.diamond_signatures();
-        let expect: BTreeSet<_> = [
-            (addr(l), addr(d)),
-            (addr(l), addr(e)),
-            (addr(a), addr(g_)),
-            (addr(b), addr(g_)),
-        ]
-        .into_iter()
-        .collect();
+        let expect: BTreeSet<_> =
+            [(addr(l), addr(d)), (addr(l), addr(e)), (addr(a), addr(g_)), (addr(b), addr(g_))]
+                .into_iter()
+                .collect();
         assert_eq!(sigs, expect, "exactly the paper's four diamonds, and not (C0, G0)");
         assert!(!g.is_diamond(addr(c), addr(g_)));
     }

@@ -202,9 +202,7 @@ impl CampaignAccumulator {
     pub fn diamond_signatures(&self) -> HashSet<(Ipv4Addr, Ipv4Addr, Ipv4Addr)> {
         self.graphs
             .iter()
-            .flat_map(|(d, g)| {
-                g.diamond_signatures().into_iter().map(move |(h, t)| (*d, h, t))
-            })
+            .flat_map(|(d, g)| g.diamond_signatures().into_iter().map(move |(h, t)| (*d, h, t)))
             .collect()
     }
 
@@ -387,11 +385,8 @@ pub fn compare(classic: &CampaignAccumulator, paris: &CampaignAccumulator) -> Co
         .filter(|((sig, _), _)| !classic_loop_sigs.contains(sig))
         .map(|(_, n)| *n)
         .sum();
-    let loops_only_in_paris_pct = if loop_total == 0 {
-        0.0
-    } else {
-        paris_only as f64 / loop_total as f64 * 100.0
-    };
+    let loops_only_in_paris_pct =
+        if loop_total == 0 { 0.0 } else { paris_only as f64 / loop_total as f64 * 100.0 };
 
     let to_pct = |m: HashMap<FinalLoopCause, u64>, total: u64| {
         m.into_iter()
@@ -486,7 +481,10 @@ mod tests {
         let mut classic = CampaignAccumulator::new(StrategyId::ClassicUdp);
         let mut paris = CampaignAccumulator::new(StrategyId::ParisUdp);
         for round in 0..5 {
-            classic.ingest(round, &route(StrategyId::ClassicUdp, 100, vec![Some(2), Some(3), Some(3)]));
+            classic.ingest(
+                round,
+                &route(StrategyId::ClassicUdp, 100, vec![Some(2), Some(3), Some(3)]),
+            );
             paris.ingest(round, &route(StrategyId::ParisUdp, 100, vec![Some(2), Some(3), Some(5)]));
         }
         let cmp = compare(&classic, &paris);
@@ -544,7 +542,10 @@ mod tests {
         let mut paris = CampaignAccumulator::new(StrategyId::ParisUdp);
         // Classic: 4 loop instances on one signature.
         for round in 0..4 {
-            classic.ingest(round, &route(StrategyId::ClassicUdp, 100, vec![Some(2), Some(3), Some(3)]));
+            classic.ingest(
+                round,
+                &route(StrategyId::ClassicUdp, 100, vec![Some(2), Some(3), Some(3)]),
+            );
         }
         // Paris: 1 loop on a signature classic never saw.
         paris.ingest(0, &route(StrategyId::ParisUdp, 100, vec![Some(2), Some(9), Some(9)]));

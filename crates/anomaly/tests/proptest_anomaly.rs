@@ -51,9 +51,9 @@ fn has_adjacent_repeat(hops: &[Option<u8>]) -> bool {
 fn has_cycle_on(hops: &[Option<u8>], a: u8) -> bool {
     let positions: Vec<usize> =
         hops.iter().enumerate().filter(|(_, h)| **h == Some(a)).map(|(i, _)| i).collect();
-    positions.windows(2).any(|w| {
-        hops[w[0] + 1..w[1]].iter().any(|x| matches!(x, Some(b) if *b != a))
-    })
+    positions
+        .windows(2)
+        .any(|w| hops[w[0] + 1..w[1]].iter().any(|x| matches!(x, Some(b) if *b != a)))
 }
 
 fn arb_hops() -> impl Strategy<Value = Vec<Option<u8>>> {
@@ -71,8 +71,8 @@ proptest! {
         // Every reported loop really is an adjacent run of one address.
         for l in &loops {
             prop_assert!(l.len >= 2);
-            for i in l.start..l.start + l.len {
-                prop_assert_eq!(hops[i], Some(l.addr.octets()[3]));
+            for h in &hops[l.start..l.start + l.len] {
+                prop_assert_eq!(*h, Some(l.addr.octets()[3]));
             }
         }
     }
@@ -97,8 +97,8 @@ proptest! {
     fn loops_never_contain_stars(hops in arb_hops()) {
         let r = route_of(&hops);
         for l in find_loops(&r) {
-            for i in l.start..l.start + l.len {
-                prop_assert!(hops[i].is_some());
+            for h in &hops[l.start..l.start + l.len] {
+                prop_assert!(h.is_some());
             }
         }
     }

@@ -17,10 +17,9 @@ use pt_wire::FlowPolicy;
 fn probes_per_hop_ablation() {
     header("ablation", "1 vs 3 probes per hop (diamonds need multiplicity)");
     let sc = scenarios::fig6(BalancerKind::PerFlow(FlowPolicy::FiveTuple));
-    for (label, config) in [
-        ("1 probe/hop ", TraceConfig::default()),
-        ("3 probes/hop", TraceConfig::three_probes()),
-    ] {
+    for (label, config) in
+        [("1 probe/hop ", TraceConfig::default()), ("3 probes/hop", TraceConfig::three_probes())]
+    {
         let mut tx = transport(&sc, 23);
         let mut s = ClassicUdp::new(5);
         let r = trace(&mut tx, &mut s, sc.destination, config);
@@ -67,10 +66,9 @@ fn bench(c: &mut Criterion) {
     policy_ablation();
     per_packet_ablation();
     let sc = scenarios::fig6(BalancerKind::PerFlow(FlowPolicy::FiveTuple));
-    for (label, config) in [
-        ("1_probe", TraceConfig::default()),
-        ("3_probes", TraceConfig::three_probes()),
-    ] {
+    for (label, config) in
+        [("1_probe", TraceConfig::default()), ("3_probes", TraceConfig::three_probes())]
+    {
         c.bench_function(&format!("ablation/trace_{label}"), |b| {
             let mut tx = transport(&sc, 23);
             let mut pid = 0u16;

@@ -1,8 +1,12 @@
 //! E8 — §3: campaign scale and pacing statistics.
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use pt_bench::{header, mini_campaign};
 use pt_campaign::{run, CampaignConfig};
+use pt_core::{trace, ParisUdp, TraceConfig};
+use pt_netsim::{SimTransport, Simulator};
 use pt_topogen::{generate, InternetConfig};
 
 fn experiment() {
@@ -33,8 +37,27 @@ fn bench(c: &mut Criterion) {
     experiment();
     let net = generate(&InternetConfig { n_destinations: 100, ..InternetConfig::default() });
     c.bench_function("campaign/one_round_100_dests", |b| {
+        b.iter(|| run(&net, &CampaignConfig { rounds: 1, shards: 8, ..CampaignConfig::default() }))
+    });
+    // Shard spin-up alone: with copy-on-write routing state this no
+    // longer copies any table, so it stays O(nodes) however many host
+    // routes the core carries.
+    c.bench_function("campaign/simulator_spinup", |b| {
+        b.iter(|| Simulator::new(Arc::clone(&net.topology), 7))
+    });
+    // The forwarding hot path in isolation: trace every destination once
+    // over a single shared simulator (no campaign bookkeeping).
+    c.bench_function("campaign/paris_trace_100_dests", |b| {
         b.iter(|| {
-            run(&net, &CampaignConfig { rounds: 1, shards: 8, ..CampaignConfig::default() })
+            let mut tx =
+                SimTransport::new(Simulator::new(Arc::clone(&net.topology), 7), net.source);
+            let mut responses = 0usize;
+            for (i, d) in net.dests.iter().enumerate() {
+                let mut s = ParisUdp::new(40_000 + i as u16, 50_000);
+                let route = trace(&mut tx, &mut s, d.addr, TraceConfig::paper());
+                responses += route.hops.len();
+            }
+            responses
         })
     });
 }

@@ -20,9 +20,7 @@ fn experiment() {
 
 fn bench(c: &mut Criterion) {
     experiment();
-    c.bench_function("diamonds/mini_campaign_100x4", |b| {
-        b.iter(|| mini_campaign(100, 4, 3))
-    });
+    c.bench_function("diamonds/mini_campaign_100x4", |b| b.iter(|| mini_campaign(100, 4, 3)));
 }
 
 criterion_group! {

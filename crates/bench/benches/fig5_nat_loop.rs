@@ -19,7 +19,10 @@ fn experiment() {
     assert_eq!(ttls, vec![250, 249, 248, 247]);
     let loops = find_loops(&r);
     assert!(!loops.is_empty());
-    println!("  classifier verdict: {:?} (at route end: {})", loops[0].cause, loops[0].at_route_end);
+    println!(
+        "  classifier verdict: {:?} (at route end: {})",
+        loops[0].cause, loops[0].at_route_end
+    );
     assert_eq!(loops[0].cause, LoopCause::AddressRewriting);
     assert!(loops[0].at_route_end, "rewriting loops live at the end of routes");
 }

@@ -7,7 +7,9 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pt_bench::header;
-use pt_core::{ClassicIcmp, ClassicUdp, ParisIcmp, ParisTcp, ParisUdp, ProbeStrategy, TcpTraceroute};
+use pt_core::{
+    ClassicIcmp, ClassicUdp, ParisIcmp, ParisTcp, ParisUdp, ProbeStrategy, TcpTraceroute,
+};
 use pt_wire::FlowPolicy;
 use std::net::Ipv4Addr;
 

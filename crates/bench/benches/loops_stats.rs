@@ -14,7 +14,11 @@ fn experiment() {
     row("% routes with a loop", 5.3, c.pct_routes_with_loop);
     row("% destinations with a loop", 18.0, c.pct_dests_with_loop);
     row("% addresses in a loop", 6.3, c.pct_addrs_in_loop);
-    row("% loops from per-flow load balancing", 87.0, cmp.loop_pct(FinalLoopCause::PerFlowLoadBalancing));
+    row(
+        "% loops from per-flow load balancing",
+        87.0,
+        cmp.loop_pct(FinalLoopCause::PerFlowLoadBalancing),
+    );
     row("% loops from zero-TTL forwarding", 6.9, cmp.loop_pct(FinalLoopCause::ZeroTtlForwarding));
     row("% loops from unreachability", 1.2, cmp.loop_pct(FinalLoopCause::Unreachability));
     row("% loops from address rewriting", 2.8, cmp.loop_pct(FinalLoopCause::AddressRewriting));

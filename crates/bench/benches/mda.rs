@@ -19,7 +19,10 @@ fn experiment() {
     let sc = scenarios::fig6(BalancerKind::PerFlow(FlowPolicy::FiveTuple));
     let mut tx = transport(&sc, 17);
     let map = enumerate(&mut tx, sc.destination, &MdaConfig::default());
-    println!("  fig6 widths per hop: {:?}", map.hops.iter().map(|h| h.interfaces.len()).collect::<Vec<_>>());
+    println!(
+        "  fig6 widths per hop: {:?}",
+        map.hops.iter().map(|h| h.interfaces.len()).collect::<Vec<_>>()
+    );
     println!("  total probes: {} over {} hops", map.total_probes, map.hops.len());
     assert_eq!(map.max_width(), 3);
     let class = classify_balancer(&mut tx, sc.destination, 7, 12, &MdaConfig::default());

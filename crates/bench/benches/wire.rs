@@ -9,7 +9,8 @@ use pt_wire::{internet_checksum, Packet, Transport, UdpDatagram};
 use std::net::Ipv4Addr;
 
 fn sample_udp_packet() -> Packet {
-    let ip = Ipv4Header::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(192, 0, 2, 9), protocol::UDP, 12);
+    let ip =
+        Ipv4Header::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(192, 0, 2, 9), protocol::UDP, 12);
     Packet::new(ip, Transport::Udp(UdpDatagram::new(40_000, 50_000, vec![0xab; 24])))
 }
 
@@ -29,7 +30,9 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("wire");
     g.throughput(Throughput::Bytes(udp_bytes.len() as u64));
     g.bench_function("emit_udp_probe", |b| b.iter(|| black_box(&udp).emit()));
-    g.bench_function("parse_udp_probe", |b| b.iter(|| Packet::parse(black_box(&udp_bytes)).unwrap()));
+    g.bench_function("parse_udp_probe", |b| {
+        b.iter(|| Packet::parse(black_box(&udp_bytes)).unwrap())
+    });
     g.throughput(Throughput::Bytes(te_bytes.len() as u64));
     g.bench_function("emit_time_exceeded", |b| b.iter(|| black_box(&te).emit()));
     g.bench_function("parse_time_exceeded", |b| {

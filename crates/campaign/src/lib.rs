@@ -15,6 +15,6 @@ pub mod report;
 pub mod runner;
 pub mod validate;
 
-pub use report::{render_report, PaperBaseline};
+pub use report::{render_report, report_digest, PaperBaseline};
 pub use runner::{run, CampaignConfig, CampaignResult, DynamicsConfig};
 pub use validate::{validate_causes, ValidationReport};

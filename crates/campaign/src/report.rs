@@ -163,7 +163,12 @@ pub fn render_report(result: &CampaignResult) -> String {
         p.pct_dests_with_diamond,
         c.pct_dests_with_diamond,
     );
-    row(&mut out, "diamonds: per-flow load balancing", p.diamond_per_flow, cmp.diamond_per_flow_pct);
+    row(
+        &mut out,
+        "diamonds: per-flow load balancing",
+        p.diamond_per_flow,
+        cmp.diamond_per_flow_pct,
+    );
     out.push_str("\n## Scale (§3)\n\n");
     use std::fmt::Write;
     let _ = writeln!(
@@ -186,6 +191,31 @@ pub fn render_report(result: &CampaignResult) -> String {
         result.paris_report.diamonds_total,
         result.mean_virtual_secs_per_shard,
     );
+    out
+}
+
+/// A canonical, order-independent digest of a campaign's results: both
+/// tool reports rendered field by field, plus the comparison with its
+/// cause maps sorted by key. Two campaign runs produced identical
+/// results iff their digests are byte-identical — the determinism tests
+/// and the hot-path refactor checks diff this string.
+pub fn report_digest(result: &CampaignResult) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    // ToolReport contains only scalars: its derived Debug is canonical.
+    let _ = writeln!(out, "classic: {:?}", result.classic_report);
+    let _ = writeln!(out, "paris: {:?}", result.paris_report);
+    let cmp = &result.comparison;
+    let mut loops: Vec<String> =
+        cmp.loop_causes.iter().map(|(k, v)| format!("{k:?}={v:?}")).collect();
+    loops.sort();
+    let mut cycles: Vec<String> =
+        cmp.cycle_causes.iter().map(|(k, v)| format!("{k:?}={v:?}")).collect();
+    cycles.sort();
+    let _ = writeln!(out, "loop_causes: [{}]", loops.join(", "));
+    let _ = writeln!(out, "cycle_causes: [{}]", cycles.join(", "));
+    let _ = writeln!(out, "diamond_per_flow_pct: {:?}", cmp.diamond_per_flow_pct);
+    let _ = writeln!(out, "loops_only_in_paris_pct: {:?}", cmp.loops_only_in_paris_pct);
     out
 }
 
@@ -217,11 +247,13 @@ mod tests {
     #[test]
     fn baseline_loop_shares_sum_to_about_100() {
         let p = PaperBaseline::PUBLISHED;
-        let sum = p.loop_per_flow + p.loop_zero_ttl + p.loop_unreachability + p.loop_rewriting
+        let sum = p.loop_per_flow
+            + p.loop_zero_ttl
+            + p.loop_unreachability
+            + p.loop_rewriting
             + p.loop_per_packet;
         assert!((sum - 100.0).abs() < 1.0, "published shares sum to {sum}");
-        let cycles =
-            p.cycle_per_flow + p.cycle_forwarding_loop + p.cycle_unreachability + 1.1;
+        let cycles = p.cycle_per_flow + p.cycle_forwarding_loop + p.cycle_unreachability + 1.1;
         assert!((cycles - 100.0).abs() < 1.0, "published cycle shares sum to {cycles}");
     }
 }

@@ -235,14 +235,19 @@ fn schedule_dynamics(
         && dest.chain.len() >= 2
         && rng.gen_bool(dyn_cfg.forwarding_loop_prob)
     {
-        // Pick an adjacent, actually-linked pair along the chain.
+        // Pick an adjacent, actually-linked pair along the chain. The RNG
+        // is only consulted when a candidate exists: drawing on an empty
+        // candidate list would silently shift every later draw and make
+        // the campaign's randomness depend on topology quirks.
         let candidates: Vec<(pt_netsim::NodeId, pt_netsim::NodeId)> = dest
             .chain
             .windows(2)
             .filter(|w| topo.iface_toward(w[0], w[1]).is_some())
             .map(|w| (w[0], w[1]))
             .collect();
-        if let Some(&(x, y)) = candidates.get(rng.gen_range(0..candidates.len().max(1))) {
+        if let Some(&(x, y)) =
+            (!candidates.is_empty()).then(|| &candidates[rng.gen_range(0..candidates.len())])
+        {
             let dst_pfx = pt_netsim::Ipv4Prefix::host(dest.addr);
             let x_to_y = topo.iface_toward(x, y).unwrap();
             let y_to_x = topo.iface_toward(y, x).unwrap();
@@ -261,15 +266,22 @@ fn schedule_dynamics(
     {
         // Find the balancer on this branch and rotate its egress list —
         // every flow rehashes to a (generally) different path mid-trace.
+        // The rotated route must be reinstalled under the *prefix that
+        // matched*: installing it under the default prefix would shadow a
+        // more specific original route for the rest of the shard.
         for &node in &dest.chain {
-            let current = tx.simulator().routing_of(node).lookup(dest.addr).cloned();
-            if let Some(NextHop::Balanced { kind, mut egresses }) = current {
+            let current = tx
+                .simulator()
+                .routing_of(node)
+                .lookup_entry(dest.addr)
+                .map(|(prefix, nh)| (prefix, nh.clone()));
+            if let Some((prefix, NextHop::Balanced { kind, mut egresses })) = current {
                 egresses.rotate_left(1);
                 let at = now + dyn_cfg.balancer_flap_after;
                 tx.simulator_mut().schedule_route_set(
                     at,
                     node,
-                    pt_netsim::Ipv4Prefix::DEFAULT,
+                    prefix,
                     Some(NextHop::Balanced { kind, egresses }),
                 );
                 break;
@@ -339,16 +351,16 @@ mod tests {
             result.classic_report.pct_routes_with_loop
         );
         assert!(
-            result.paris_report.pct_routes_with_loop < result.classic_report.pct_routes_with_loop / 5.0,
+            result.paris_report.pct_routes_with_loop
+                < result.classic_report.pct_routes_with_loop / 5.0,
             "paris {} vs classic {}",
             result.paris_report.pct_routes_with_loop,
             result.classic_report.pct_routes_with_loop
         );
         assert!(result.classic_report.diamonds_total > result.paris_report.diamonds_total);
         // And the attribution says per-flow LB dominates.
-        let pf = result
-            .comparison
-            .loop_pct(pt_anomaly::stats::FinalLoopCause::PerFlowLoadBalancing);
+        let pf =
+            result.comparison.loop_pct(pt_anomaly::stats::FinalLoopCause::PerFlowLoadBalancing);
         assert!(pf > 80.0, "per-flow share {pf}");
     }
 
@@ -383,9 +395,7 @@ mod tests {
             result.classic.cycle_instance_count() > 0,
             "forced forwarding loops must produce cycles"
         );
-        let fl = result
-            .comparison
-            .cycle_pct(pt_anomaly::stats::FinalCycleCause::ForwardingLoop);
+        let fl = result.comparison.cycle_pct(pt_anomaly::stats::FinalCycleCause::ForwardingLoop);
         assert!(fl > 30.0, "forwarding-loop share of cycles: {fl}");
     }
 }

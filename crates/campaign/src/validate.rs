@@ -125,9 +125,7 @@ pub fn validate_causes(
         zero_ttl: score(&flagged_zero_ttl, &|t| t.zero_ttl),
         rewriting: score(&flagged_rewriting, &|t| t.nat),
         unreachability: score(&flagged_unreach, &|t| t.broken),
-        per_flow: score(&flagged_per_flow, &|t| {
-            t.per_flow_lb && t.lb_delta >= 1
-        }),
+        per_flow: score(&flagged_per_flow, &|t| t.per_flow_lb && t.lb_delta >= 1),
     }
 }
 

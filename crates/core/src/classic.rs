@@ -44,7 +44,8 @@ impl ProbeStrategy for ClassicUdp {
 
     fn build_probe(&mut self, src: Ipv4Addr, dst: Ipv4Addr, ttl: u8, probe_idx: u64) -> Packet {
         let ip = Ipv4Header::new(src, dst, protocol::UDP, ttl);
-        let udp = UdpDatagram::new(self.src_port(), self.dst_port(probe_idx), vec![0; self.payload_len]);
+        let udp =
+            UdpDatagram::new(self.src_port(), self.dst_port(probe_idx), vec![0; self.payload_len]);
         Packet::new(ip, Wire::Udp(udp))
     }
 

@@ -161,8 +161,11 @@ impl ProbeStrategy for ParisTcp {
 
     fn build_probe(&mut self, src: Ipv4Addr, dst: Ipv4Addr, ttl: u8, probe_idx: u64) -> Packet {
         let ip = Ipv4Header::new(src, dst, protocol::TCP, ttl);
-        let seg =
-            TcpSegment::syn_probe(self.src_port, self.dst_port, self.base_seq.wrapping_add(probe_idx as u32));
+        let seg = TcpSegment::syn_probe(
+            self.src_port,
+            self.dst_port,
+            self.base_seq.wrapping_add(probe_idx as u32),
+        );
         Packet::new(ip, Wire::Tcp(seg))
     }
 

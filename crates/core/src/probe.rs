@@ -71,7 +71,7 @@ pub trait ProbeStrategy {
 
 /// Pull the quotation out of an ICMP error response, if the response is
 /// one and the quoted packet was ours (same destination).
-pub(crate) fn quotation_for<'p>(dst: Ipv4Addr, response: &'p Packet) -> Option<&'p Quotation> {
+pub(crate) fn quotation_for(dst: Ipv4Addr, response: &Packet) -> Option<&Quotation> {
     let q = match &response.transport {
         Wire::Icmp(IcmpMessage::TimeExceeded { quotation }) => quotation,
         Wire::Icmp(IcmpMessage::DestUnreachable { quotation, .. }) => quotation,

@@ -174,7 +174,8 @@ mod tests {
 
     #[test]
     fn side_info_mode_prints_paris_extras() {
-        let r = route(vec![Hop { ttl: 1, probes: vec![probe(Some(2), ResponseKind::TimeExceeded)] }]);
+        let r =
+            route(vec![Hop { ttl: 1, probes: vec![probe(Some(2), ResponseKind::TimeExceeded)] }]);
         let text = render(&r, RenderOptions { rtt: false, side_info: true });
         assert!(text.contains("[pttl 1 rttl 250 ipid 77]"), "{text}");
         assert!(!text.contains("ms"));

@@ -182,13 +182,8 @@ impl MeasuredRoute {
     /// Stars that appear *before* the last responding hop — the §3
     /// "stars in the midst of responses" statistic.
     pub fn mid_route_stars(&self) -> usize {
-        let last_responding =
-            self.hops.iter().rposition(|h| !h.all_stars()).unwrap_or(0);
-        self.hops[..last_responding]
-            .iter()
-            .flat_map(|h| &h.probes)
-            .filter(|p| p.is_star())
-            .count()
+        let last_responding = self.hops.iter().rposition(|h| !h.all_stars()).unwrap_or(0);
+        self.hops[..last_responding].iter().flat_map(|h| &h.probes).filter(|p| p.is_star()).count()
     }
 
     /// The hop index (not TTL) where the destination answered, if any.

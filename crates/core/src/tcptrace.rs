@@ -135,7 +135,7 @@ mod tests {
     #[test]
     fn rejects_wrong_ports() {
         let (src, dst) = addrs();
-        let mut s = TcpTraceroute::new(50123);
+        let s = TcpTraceroute::new(50123);
         let mut other = TcpTraceroute::new(50999);
         let probe = other.build_probe(src, dst, 5, 2);
         let resp = time_exceeded_for(&probe, Ipv4Addr::new(10, 7, 7, 7));

@@ -149,8 +149,7 @@ pub fn enumerate<T: Transport>(
         let mut converged = false;
         let mut reached_terminal = false;
         for flow in 0..config.max_flows_per_hop as u16 {
-            let (addr, terminal) =
-                probe_once(tx, destination, ttl, flow, tag, config.timeout);
+            let (addr, terminal) = probe_once(tx, destination, ttl, flow, tag, config.timeout);
             tag += 1;
             probes_sent += 1;
             total_probes += 1;
@@ -269,10 +268,7 @@ mod tests {
         let mut tx = transport(&sc, 5);
         let map = enumerate(&mut tx, sc.destination, &MdaConfig::default());
         // Hop 7: A, B, C; hop 8: D, E.
-        assert_eq!(
-            map.hops[6].interfaces,
-            BTreeSet::from([sc.a("A"), sc.a("B"), sc.a("C")]),
-        );
+        assert_eq!(map.hops[6].interfaces, BTreeSet::from([sc.a("A"), sc.a("B"), sc.a("C")]),);
         assert_eq!(map.hops[7].interfaces, BTreeSet::from([sc.a("D"), sc.a("E")]));
         assert_eq!(map.max_width(), 3);
         assert_eq!(map.balanced_hops().count(), 2);
@@ -327,8 +323,7 @@ mod tests {
         let dst = b.addr_of(d);
         let topo = std::sync::Arc::new(b.build());
         let mut tx = SimTransport::new(Simulator::new(topo, 1), s);
-        let mut cfg = MdaConfig::default();
-        cfg.timeout = SimDuration::from_millis(50);
+        let cfg = MdaConfig { timeout: SimDuration::from_millis(50), ..MdaConfig::default() };
         let class = classify_balancer(&mut tx, dst, 5, 4, &cfg);
         assert_eq!(class, BalancerClass::Undetermined);
     }

@@ -95,6 +95,7 @@ impl AddrAllocator {
 
     /// The next unique address in the current subnet, spilling into a new
     /// subnet after 254 hosts.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Ipv4Addr {
         if self.next_host >= 255 {
             self.next_subnet();

@@ -39,7 +39,7 @@ pub mod transport;
 pub use addr::Ipv4Prefix;
 pub use builder::TopologyBuilder;
 pub use node::{BalancerKind, HostConfig, NatConfig, NodeKind, RouterConfig};
-pub use routing::{NextHop, RoutingTable};
+pub use routing::{NextHop, NodeRouting, RouteDelta, RouteOverlay, RoutingTable};
 pub use sim::{SimStats, Simulator};
 pub use time::{SimDuration, SimTime};
 pub use topology::{LinkId, NodeId, Topology};

@@ -131,7 +131,12 @@ pub fn fig1(kind: BalancerKind) -> Scenario {
     s.b.route_via(dd, s.s_prefix, bb);
     s.b.route_via(e, s.s_prefix, c);
     let destination = s.b.addr_of(dest);
-    finish(s.b, s.source, destination, &[("L", l), ("A", a), ("B", bb), ("C", c), ("D", dd), ("E", e)])
+    finish(
+        s.b,
+        s.source,
+        destination,
+        &[("L", l), ("A", a), ("B", bb), ("C", c), ("D", dd), ("E", e)],
+    )
 }
 
 /// **Fig. 3** — a loop caused by load balancing over unequal-length paths.
@@ -385,8 +390,8 @@ pub fn forwarding_loop_chain() -> (Scenario, NodeId, NodeId) {
 mod tests {
     use super::*;
     use crate::sim::Simulator;
-    use pt_wire::FlowPolicy;
     use pt_wire::ipv4::{protocol, Ipv4Header};
+    use pt_wire::FlowPolicy;
     use pt_wire::{IcmpMessage, Packet, Transport, UdpDatagram};
 
     fn probe(sc: &Scenario, ttl: u8, dst_port: u16) -> Packet {
@@ -413,10 +418,7 @@ mod tests {
         let top = [Some(sc.a("A")), None, Some(sc.a("E"))];
         let bottom = [None, Some(sc.a("D")), Some(sc.a("E"))];
         let tail = [hops[1], hops[2], hops[3]];
-        assert!(
-            tail == top || tail == bottom,
-            "flow must stay on one physical path, got {tail:?}"
-        );
+        assert!(tail == top || tail == bottom, "flow must stay on one physical path, got {tail:?}");
     }
 
     #[test]
@@ -460,7 +462,8 @@ mod tests {
                 long_port = Some(port);
             }
         }
-        let (sp, lp) = (short_port.expect("some flow goes short"), long_port.expect("some flow goes long"));
+        let (sp, lp) =
+            (short_port.expect("some flow goes short"), long_port.expect("some flow goes long"));
         // The straddling trace: TTL 8 with the short flow shows E; TTL 9
         // with the long flow shows E again → loop (E, E).
         assert_eq!(responder(&sc, &mut sim, 8, sp), Some(sc.a("E")));
@@ -534,7 +537,10 @@ mod tests {
         assert!(matches!(first.transport, Transport::Icmp(IcmpMessage::TimeExceeded { .. })));
         assert!(matches!(
             second.transport,
-            Transport::Icmp(IcmpMessage::DestUnreachable { code: pt_wire::UnreachableCode::Host, .. })
+            Transport::Icmp(IcmpMessage::DestUnreachable {
+                code: pt_wire::UnreachableCode::Host,
+                ..
+            })
         ));
     }
 

@@ -21,9 +21,9 @@ use pt_wire::{Packet, Transport, UnreachableCode};
 
 use crate::addr::Ipv4Prefix;
 use crate::node::{BalancerKind, HostConfig, NodeKind, RouterConfig};
-use crate::routing::{NextHop, RoutingTable};
+use crate::routing::{NextHop, NodeRouting, RouteDelta};
 use crate::time::SimTime;
-use crate::topology::{NodeId, Topology};
+use crate::topology::{Node, NodeId, Topology};
 
 /// Counters describing everything the simulator did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -96,8 +96,10 @@ impl Ord for Scheduled {
 
 #[derive(Debug)]
 struct NodeState {
-    /// Live routing table (starts as a copy of the topology's).
-    routing: RoutingTable,
+    /// Copy-on-write routing changes over the topology's shared base
+    /// table (borrowed at lookup time, never copied). A pristine delta
+    /// is one null word; only routes changed by dynamics occupy memory.
+    routing: RouteDelta,
     /// The router's internal 16-bit counter stamped into the IP
     /// Identification of packets it originates.
     ip_id: u16,
@@ -120,6 +122,9 @@ pub struct Simulator {
     state: Vec<NodeState>,
     inbox: HashMap<NodeId, VecDeque<(SimTime, Packet)>>,
     stats: SimStats,
+    /// Recycled buffer for quoting offending packets into ICMP, so the
+    /// response path performs no per-packet allocation.
+    scratch: Vec<u8>,
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -137,7 +142,9 @@ impl Simulator {
             .map(|i| {
                 let node_seed = splitmix64(seed ^ splitmix64(i as u64 + 1));
                 NodeState {
-                    routing: topology.nodes[i].routing.clone(),
+                    // O(1) and allocation-free: the base table stays in
+                    // the topology, the delta starts empty.
+                    routing: RouteDelta::new(),
                     ip_id: (node_seed >> 32) as u16,
                     rng: StdRng::seed_from_u64(node_seed),
                     salt: splitmix64(node_seed ^ 0xabcd_ef01),
@@ -153,6 +160,7 @@ impl Simulator {
             state,
             inbox: HashMap::new(),
             stats: SimStats::default(),
+            scratch: Vec::new(),
         }
     }
 
@@ -212,7 +220,8 @@ impl Simulator {
             EventKind::RouteSet { node, prefix, next_hop } => match next_hop {
                 Some(nh) => self.state[node.0].routing.set(prefix, nh),
                 None => {
-                    let _ = self.state[node.0].routing.remove(prefix);
+                    let topo = Arc::clone(&self.topo);
+                    self.state[node.0].routing.remove(&topo.node(node).routing, prefix);
                 }
             },
         }
@@ -250,9 +259,10 @@ impl Simulator {
         self.inbox.get(&node).map_or(0, VecDeque::len)
     }
 
-    /// Read `node`'s live routing table (tests and dynamics helpers).
-    pub fn routing_of(&self, node: NodeId) -> &RoutingTable {
-        &self.state[node.0].routing
+    /// Read `node`'s live routing state (tests and dynamics helpers):
+    /// the shared base table merged with this simulator's delta.
+    pub fn routing_of(&self, node: NodeId) -> NodeRouting<'_> {
+        NodeRouting::new(&self.topo.node(node).routing, &self.state[node.0].routing)
     }
 
     // ------------------------------------------------------------------
@@ -260,12 +270,15 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn process_arrival(&mut self, node: NodeId, iface_in: Option<usize>, mut packet: Packet) {
-        if self.topo.node(node).owns_addr(packet.ip.dst) {
-            self.deliver_local(node, packet);
+        // One Arc bump pins the topology so node config is *borrowed* for
+        // the whole arrival — the hot path clones no NodeKind/config.
+        let topo = Arc::clone(&self.topo);
+        let n = topo.node(node);
+        if n.owns_addr(packet.ip.dst) {
+            self.deliver_local(node, n, packet);
             return;
         }
-        let kind = self.topo.node(node).kind.clone();
-        match kind {
+        match &n.kind {
             NodeKind::Host(_) => {
                 if iface_in.is_none() {
                     // Hosts route only their own packets (via gateway).
@@ -281,7 +294,7 @@ impl Simulator {
                     if ttl == 0 || (ttl == 1 && !cfg.zero_ttl_forwarding) {
                         // Expired: quote the packet exactly as received —
                         // probe TTL 1 normally, 0 past a zero-TTL forwarder.
-                        self.expire(node, iface_in, &cfg, &packet);
+                        self.expire(node, iface_in, cfg, &packet);
                         return;
                     }
                     // Normal decrement; the Fig. 4 misconfiguration sends
@@ -289,7 +302,7 @@ impl Simulator {
                     packet.ip.ttl -= 1;
                 }
                 if let Some(code) = cfg.broken {
-                    self.respond_unreachable(node, iface_in, &cfg, &packet, code);
+                    self.respond_unreachable(node, iface_in, cfg, &packet, code);
                     return;
                 }
                 self.forward(node, iface_in, packet);
@@ -297,14 +310,12 @@ impl Simulator {
         }
     }
 
-    fn deliver_local(&mut self, node: NodeId, packet: Packet) {
+    fn deliver_local(&mut self, node: NodeId, n: &Node, packet: Packet) {
         self.stats.delivered += 1;
         let probed_addr = packet.ip.dst;
-        let response = match &self.topo.node(node).kind {
-            NodeKind::Host(h) => self.host_response(node, h.clone(), probed_addr, &packet),
-            NodeKind::Router(r) => {
-                self.router_local_response(node, r.clone(), probed_addr, &packet)
-            }
+        let response = match &n.kind {
+            NodeKind::Host(h) => self.host_response(node, h, probed_addr, &packet),
+            NodeKind::Router(r) => self.router_local_response(node, r, probed_addr, &packet),
         };
         self.inbox.entry(node).or_default().push_back((self.clock, packet));
         if let Some(resp) = response {
@@ -315,7 +326,7 @@ impl Simulator {
     fn host_response(
         &mut self,
         node: NodeId,
-        cfg: HostConfig,
+        cfg: &HostConfig,
         probed_addr: Ipv4Addr,
         packet: &Packet,
     ) -> Option<Packet> {
@@ -345,7 +356,13 @@ impl Simulator {
                     seq: *seq,
                     payload: payload.clone(),
                 };
-                Some(self.build_response(node, probed_addr, packet.ip.src, cfg.initial_ttl, Transport::Icmp(reply)))
+                Some(self.build_response(
+                    node,
+                    probed_addr,
+                    packet.ip.src,
+                    cfg.initial_ttl,
+                    Transport::Icmp(reply),
+                ))
             }
             Transport::Tcp(seg) if seg.control & tcp_flags::SYN != 0 => {
                 let open = cfg.open_tcp_ports.contains(&seg.dst_port);
@@ -356,8 +373,18 @@ impl Simulator {
                 self.stats.tcp_responses_sent += 1;
                 let mut resp = TcpSegment::syn_probe(seg.dst_port, seg.src_port, 0);
                 resp.ack = seg.seq.wrapping_add(1);
-                resp.control = if open { tcp_flags::SYN | tcp_flags::ACK } else { tcp_flags::RST | tcp_flags::ACK };
-                Some(self.build_response(node, probed_addr, packet.ip.src, cfg.initial_ttl, Transport::Tcp(resp)))
+                resp.control = if open {
+                    tcp_flags::SYN | tcp_flags::ACK
+                } else {
+                    tcp_flags::RST | tcp_flags::ACK
+                };
+                Some(self.build_response(
+                    node,
+                    probed_addr,
+                    packet.ip.src,
+                    cfg.initial_ttl,
+                    Transport::Tcp(resp),
+                ))
             }
             // Echo replies, errors, non-SYN TCP: consumed silently.
             _ => None,
@@ -367,7 +394,7 @@ impl Simulator {
     fn router_local_response(
         &mut self,
         node: NodeId,
-        cfg: RouterConfig,
+        cfg: &RouterConfig,
         probed_addr: Ipv4Addr,
         packet: &Packet,
     ) -> Option<Packet> {
@@ -393,20 +420,38 @@ impl Simulator {
                     seq: *seq,
                     payload: payload.clone(),
                 };
-                Some(self.build_response(node, probed_addr, packet.ip.src, cfg.icmp_initial_ttl, Transport::Icmp(reply)))
+                Some(self.build_response(
+                    node,
+                    probed_addr,
+                    packet.ip.src,
+                    cfg.icmp_initial_ttl,
+                    Transport::Icmp(reply),
+                ))
             }
             Transport::Tcp(seg) if seg.control & tcp_flags::SYN != 0 => {
                 self.stats.tcp_responses_sent += 1;
                 let mut resp = TcpSegment::syn_probe(seg.dst_port, seg.src_port, 0);
                 resp.ack = seg.seq.wrapping_add(1);
                 resp.control = tcp_flags::RST | tcp_flags::ACK;
-                Some(self.build_response(node, probed_addr, packet.ip.src, cfg.icmp_initial_ttl, Transport::Tcp(resp)))
+                Some(self.build_response(
+                    node,
+                    probed_addr,
+                    packet.ip.src,
+                    cfg.icmp_initial_ttl,
+                    Transport::Tcp(resp),
+                ))
             }
             _ => None,
         }
     }
 
-    fn expire(&mut self, node: NodeId, iface_in: Option<usize>, cfg: &RouterConfig, packet: &Packet) {
+    fn expire(
+        &mut self,
+        node: NodeId,
+        iface_in: Option<usize>,
+        cfg: &RouterConfig,
+        packet: &Packet,
+    ) {
         if cfg.silent {
             self.stats.dropped_silent += 1;
             return;
@@ -417,8 +462,13 @@ impl Simulator {
         }
         let src_addr = self.responding_addr(node, iface_in);
         self.stats.time_exceeded_sent += 1;
-        let resp =
-            self.icmp_response(node, src_addr, cfg.icmp_initial_ttl, packet, IcmpKind::TimeExceeded);
+        let resp = self.icmp_response(
+            node,
+            src_addr,
+            cfg.icmp_initial_ttl,
+            packet,
+            IcmpKind::TimeExceeded,
+        );
         self.originate(node, resp);
     }
 
@@ -486,8 +536,13 @@ impl Simulator {
         kind: IcmpKind,
     ) -> Packet {
         // Quote the offending packet exactly as received: header with the
-        // TTL at reception, plus the first eight transport octets.
-        let quotation = Quotation::from_probe(offending.ip, &offending.transport_bytes());
+        // TTL at reception, plus the first eight transport octets. The
+        // scratch buffer is recycled across responses, so quoting does not
+        // allocate.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        offending.emit_transport_into(&mut scratch);
+        let quotation = Quotation::from_probe(offending.ip, &scratch);
+        self.scratch = scratch;
         let msg = match kind {
             IcmpKind::TimeExceeded => IcmpMessage::TimeExceeded { quotation },
             IcmpKind::Unreachable(code) => IcmpMessage::DestUnreachable { code, quotation },
@@ -527,14 +582,17 @@ impl Simulator {
             }
         }
         let dst = packet.ip.dst;
-        let next_hop = match self.state[node.0].routing.lookup(dst) {
-            Some(nh) => nh.clone(),
-            None => {
-                self.stats.dropped_no_route += 1;
-                return;
-            }
+        // The next hop stays borrowed from the shared base table (or this
+        // simulator's delta) for the whole egress decision; balanced
+        // egress sets are indexed in place, never cloned (the RNG draw
+        // borrows a disjoint NodeState field).
+        let base = &self.topo.node(node).routing;
+        let st = &mut self.state[node.0];
+        let Some(next_hop) = NodeRouting::new(base, &st.routing).lookup(dst) else {
+            self.stats.dropped_no_route += 1;
+            return;
         };
-        let egress = match &next_hop {
+        let egress = match next_hop {
             NextHop::Iface(i) => *i,
             NextHop::Blackhole => {
                 self.stats.dropped_blackhole += 1;
@@ -545,12 +603,12 @@ impl Simulator {
                 let idx = match kind {
                     BalancerKind::PerFlow(policy) => {
                         let key = policy.flow_key(&packet).0;
-                        (splitmix64(key ^ self.state[node.0].salt) % n as u64) as usize
+                        (splitmix64(key ^ st.salt) % n as u64) as usize
                     }
-                    BalancerKind::PerPacket => self.state[node.0].rng.gen_range(0..n),
+                    BalancerKind::PerPacket => st.rng.gen_range(0..n),
                     BalancerKind::PerDestination => {
                         let key = u64::from(u32::from(dst));
-                        (splitmix64(key ^ self.state[node.0].salt) % n as u64) as usize
+                        (splitmix64(key ^ st.salt) % n as u64) as usize
                     }
                 };
                 egresses[idx]
@@ -578,11 +636,10 @@ impl Simulator {
         let other = link.other_end(node);
         self.stats.forwarded += 1;
         let at = self.clock + link.delay;
-        self.schedule(at, EventKind::Arrival {
-            node: other.node,
-            iface_in: Some(other.iface),
-            packet,
-        });
+        self.schedule(
+            at,
+            EventKind::Arrival { node: other.node, iface_in: Some(other.iface), packet },
+        );
     }
 }
 
@@ -596,8 +653,8 @@ enum IcmpKind {
 mod tests {
     use super::*;
     use crate::builder::TopologyBuilder;
-    use crate::time::SimDuration;
     use crate::node::{HostConfig, RouterConfig};
+    use crate::time::SimDuration;
     use pt_wire::ipv4::protocol;
     use pt_wire::UdpDatagram;
 
@@ -828,10 +885,7 @@ mod tests {
         sim.inject(s, udp_probe(src, dst, 1, 33435));
         sim.run_to_quiescence();
         let first = sim.take_inbox(s);
-        assert!(matches!(
-            &first[0].1.transport,
-            Transport::Icmp(IcmpMessage::TimeExceeded { .. })
-        ));
+        assert!(matches!(&first[0].1.transport, Transport::Icmp(IcmpMessage::TimeExceeded { .. })));
         // TTL 2 would be forwarded, but forwarding is broken: !H, same
         // address — the unreachability loop.
         sim.inject(s, udp_probe(src, dst, 2, 33436));
@@ -1050,8 +1104,10 @@ mod tests {
     fn icmp_rate_limit_suppresses_back_to_back_probes() {
         let mut b = TopologyBuilder::new();
         let s = b.host("S", HostConfig::default());
-        let mut cfg = RouterConfig::default();
-        cfg.icmp_min_interval = Some(SimDuration::from_millis(100));
+        let cfg = RouterConfig {
+            icmp_min_interval: Some(SimDuration::from_millis(100)),
+            ..RouterConfig::default()
+        };
         let r = b.router("r", cfg);
         let d = b.host("D", HostConfig::default());
         b.link(s, r, SimDuration::from_millis(1), 0.0);

@@ -1,13 +1,15 @@
 //! The static network graph: nodes with addressed interfaces, links with
 //! delay and loss, and initial routing tables.
 //!
-//! A [`Topology`] is immutable once built (see [`crate::builder`]); the
-//! simulator copies the mutable runtime state (routing tables, IP-ID
-//! counters, RNGs) out of it, so several simulators can share one topology
-//! across threads.
+//! A [`Topology`] is immutable once built (see [`crate::builder`]); a
+//! simulator owns only small per-node runtime state (a copy-on-write
+//! routing delta, IP-ID counter, RNG) layered over it, so several
+//! simulators can share one topology across threads and spin up without
+//! copying any routing table.
 
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 use crate::node::NodeKind;
 use crate::routing::RoutingTable;
@@ -70,8 +72,11 @@ pub struct Node {
     pub kind: NodeKind,
     /// Interfaces, indexed by position.
     pub ifaces: Vec<Interface>,
-    /// Initial routing table (the simulator copies and may mutate it).
-    pub routing: RoutingTable,
+    /// Boot-time routing table, shared immutably with every simulator.
+    /// Simulators never copy it: they layer a per-node
+    /// [`crate::routing::RouteOverlay`] delta on top, so constructing a
+    /// simulator is O(1) per node however many routes the node carries.
+    pub routing: Arc<RoutingTable>,
 }
 
 impl Node {

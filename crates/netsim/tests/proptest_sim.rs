@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use pt_netsim::addr::Ipv4Prefix;
 use pt_netsim::node::{BalancerKind, HostConfig, RouterConfig};
 use pt_netsim::time::SimDuration;
-use pt_netsim::{SimTransport, Simulator, TopologyBuilder, Topology, NodeId};
+use pt_netsim::{NodeId, SimTransport, Simulator, Topology, TopologyBuilder};
 use pt_wire::ipv4::{protocol, Ipv4Header};
 use pt_wire::{FlowPolicy, Packet, Transport, UdpDatagram};
 use std::net::Ipv4Addr;

@@ -67,12 +67,8 @@ impl AsMap {
 
     /// All registered tier-1 ASes.
     pub fn tier1s(&self) -> Vec<Asn> {
-        let mut v: Vec<Asn> = self
-            .tiers
-            .iter()
-            .filter(|(_, t)| **t == AsTier::Tier1)
-            .map(|(a, _)| *a)
-            .collect();
+        let mut v: Vec<Asn> =
+            self.tiers.iter().filter(|(_, t)| **t == AsTier::Tier1).map(|(a, _)| *a).collect();
         v.sort();
         v
     }
@@ -105,8 +101,7 @@ pub fn coverage<'a>(map: &AsMap, addrs: impl IntoIterator<Item = &'a Ipv4Addr>) 
             None => unmapped += 1,
         }
     }
-    let tier1s_observed =
-        seen.iter().filter(|a| map.tier(**a) == Some(AsTier::Tier1)).count();
+    let tier1s_observed = seen.iter().filter(|a| map.tier(**a) == Some(AsTier::Tier1)).count();
     AsCoverage {
         ases_observed: seen.len(),
         ases_total: map.as_count(),

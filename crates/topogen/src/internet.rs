@@ -132,10 +132,7 @@ pub struct DestTruth {
 impl DestTruth {
     /// Whether classic traceroute should see *any* anomaly source here.
     pub fn any_anomaly_source(&self) -> bool {
-        (self.per_flow_lb || self.per_packet_lb)
-            || self.zero_ttl
-            || self.broken
-            || self.nat
+        (self.per_flow_lb || self.per_packet_lb) || self.zero_ttl || self.broken || self.nat
     }
 }
 
@@ -389,10 +386,8 @@ fn build_branch(
     // Optional broken-forwarding router: the trace never passes it.
     if rng.gen_bool(config.broken) {
         truth.broken = true;
-        let u = b.router(
-            &format!("d{di}-U"),
-            RouterConfig::broken_forwarding(UnreachableCode::Host),
-        );
+        let u =
+            b.router(&format!("d{di}-U"), RouterConfig::broken_forwarding(UnreachableCode::Host));
         b.link(prev, u, delay, loss);
         b.route_via(u, s_prefix, prev);
         if prev != owner {
@@ -525,12 +520,8 @@ mod tests {
         );
         for (i, d) in net.dests.iter().enumerate() {
             let mut strat = pt_core::ParisUdp::new(40000 + i as u16, 50000);
-            let route = pt_core::trace(
-                &mut tx,
-                &mut strat,
-                d.addr,
-                pt_core::TraceConfig::default(),
-            );
+            let route =
+                pt_core::trace(&mut tx, &mut strat, d.addr, pt_core::TraceConfig::default());
             assert!(
                 route.reached_destination(),
                 "destination {i} ({}) unreachable: {:?}",

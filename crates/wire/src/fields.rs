@@ -91,36 +91,198 @@ const fn role(
 /// Fig. 2 of the paper, row by row.
 pub const FIELD_MATRIX: &[HeaderField] = &[
     // ---- IP ----
-    HeaderField { layer: Layer::Ip, name: "Version/IHL", offset: 0, len: 1, role: role(false, false, false, false, false) },
-    HeaderField { layer: Layer::Ip, name: "TOS", offset: 1, len: 1, role: role(true, false, false, false, false) },
-    HeaderField { layer: Layer::Ip, name: "Total Length", offset: 2, len: 2, role: role(false, false, false, false, false) },
-    HeaderField { layer: Layer::Ip, name: "Identification", offset: 4, len: 2, role: role(false, false, true, false, false) },
-    HeaderField { layer: Layer::Ip, name: "Flags/Fragment Offset", offset: 6, len: 2, role: role(false, false, false, false, false) },
-    HeaderField { layer: Layer::Ip, name: "TTL", offset: 8, len: 1, role: role(false, false, false, false, false) },
-    HeaderField { layer: Layer::Ip, name: "Protocol", offset: 9, len: 1, role: role(true, false, false, false, false) },
-    HeaderField { layer: Layer::Ip, name: "Header Checksum", offset: 10, len: 2, role: role(false, false, false, false, false) },
-    HeaderField { layer: Layer::Ip, name: "Source Address", offset: 12, len: 4, role: role(true, false, false, false, false) },
-    HeaderField { layer: Layer::Ip, name: "Destination Address", offset: 16, len: 4, role: role(true, false, false, false, false) },
+    HeaderField {
+        layer: Layer::Ip,
+        name: "Version/IHL",
+        offset: 0,
+        len: 1,
+        role: role(false, false, false, false, false),
+    },
+    HeaderField {
+        layer: Layer::Ip,
+        name: "TOS",
+        offset: 1,
+        len: 1,
+        role: role(true, false, false, false, false),
+    },
+    HeaderField {
+        layer: Layer::Ip,
+        name: "Total Length",
+        offset: 2,
+        len: 2,
+        role: role(false, false, false, false, false),
+    },
+    HeaderField {
+        layer: Layer::Ip,
+        name: "Identification",
+        offset: 4,
+        len: 2,
+        role: role(false, false, true, false, false),
+    },
+    HeaderField {
+        layer: Layer::Ip,
+        name: "Flags/Fragment Offset",
+        offset: 6,
+        len: 2,
+        role: role(false, false, false, false, false),
+    },
+    HeaderField {
+        layer: Layer::Ip,
+        name: "TTL",
+        offset: 8,
+        len: 1,
+        role: role(false, false, false, false, false),
+    },
+    HeaderField {
+        layer: Layer::Ip,
+        name: "Protocol",
+        offset: 9,
+        len: 1,
+        role: role(true, false, false, false, false),
+    },
+    HeaderField {
+        layer: Layer::Ip,
+        name: "Header Checksum",
+        offset: 10,
+        len: 2,
+        role: role(false, false, false, false, false),
+    },
+    HeaderField {
+        layer: Layer::Ip,
+        name: "Source Address",
+        offset: 12,
+        len: 4,
+        role: role(true, false, false, false, false),
+    },
+    HeaderField {
+        layer: Layer::Ip,
+        name: "Destination Address",
+        offset: 16,
+        len: 4,
+        role: role(true, false, false, false, false),
+    },
     // ---- UDP ----
-    HeaderField { layer: Layer::Udp, name: "Source Port", offset: 0, len: 2, role: role(true, false, false, false, false) },
-    HeaderField { layer: Layer::Udp, name: "Destination Port", offset: 2, len: 2, role: role(true, true, false, false, false) },
-    HeaderField { layer: Layer::Udp, name: "Length", offset: 4, len: 2, role: role(false, false, false, false, false) },
-    HeaderField { layer: Layer::Udp, name: "Checksum", offset: 6, len: 2, role: role(false, true, false, true, false) },
+    HeaderField {
+        layer: Layer::Udp,
+        name: "Source Port",
+        offset: 0,
+        len: 2,
+        role: role(true, false, false, false, false),
+    },
+    HeaderField {
+        layer: Layer::Udp,
+        name: "Destination Port",
+        offset: 2,
+        len: 2,
+        role: role(true, true, false, false, false),
+    },
+    HeaderField {
+        layer: Layer::Udp,
+        name: "Length",
+        offset: 4,
+        len: 2,
+        role: role(false, false, false, false, false),
+    },
+    HeaderField {
+        layer: Layer::Udp,
+        name: "Checksum",
+        offset: 6,
+        len: 2,
+        role: role(false, true, false, true, false),
+    },
     // ---- ICMP Echo ----
-    HeaderField { layer: Layer::IcmpEcho, name: "Type", offset: 0, len: 1, role: role(false, false, false, false, false) },
-    HeaderField { layer: Layer::IcmpEcho, name: "Code", offset: 1, len: 1, role: role(true, false, false, false, false) },
-    HeaderField { layer: Layer::IcmpEcho, name: "Checksum", offset: 2, len: 2, role: role(true, true, false, false, false) },
-    HeaderField { layer: Layer::IcmpEcho, name: "Identifier", offset: 4, len: 2, role: role(false, false, false, true, false) },
-    HeaderField { layer: Layer::IcmpEcho, name: "Sequence Number", offset: 6, len: 2, role: role(false, true, false, true, false) },
+    HeaderField {
+        layer: Layer::IcmpEcho,
+        name: "Type",
+        offset: 0,
+        len: 1,
+        role: role(false, false, false, false, false),
+    },
+    HeaderField {
+        layer: Layer::IcmpEcho,
+        name: "Code",
+        offset: 1,
+        len: 1,
+        role: role(true, false, false, false, false),
+    },
+    HeaderField {
+        layer: Layer::IcmpEcho,
+        name: "Checksum",
+        offset: 2,
+        len: 2,
+        role: role(true, true, false, false, false),
+    },
+    HeaderField {
+        layer: Layer::IcmpEcho,
+        name: "Identifier",
+        offset: 4,
+        len: 2,
+        role: role(false, false, false, true, false),
+    },
+    HeaderField {
+        layer: Layer::IcmpEcho,
+        name: "Sequence Number",
+        offset: 6,
+        len: 2,
+        role: role(false, true, false, true, false),
+    },
     // ---- TCP ----
-    HeaderField { layer: Layer::Tcp, name: "Source Port", offset: 0, len: 2, role: role(true, false, false, false, false) },
-    HeaderField { layer: Layer::Tcp, name: "Destination Port", offset: 2, len: 2, role: role(true, false, false, false, false) },
-    HeaderField { layer: Layer::Tcp, name: "Sequence Number", offset: 4, len: 4, role: role(false, false, false, true, false) },
-    HeaderField { layer: Layer::Tcp, name: "Acknowledgment Number", offset: 8, len: 4, role: role(false, false, false, false, true) },
-    HeaderField { layer: Layer::Tcp, name: "Data Offset/Resvd/ECN/Control", offset: 12, len: 2, role: role(false, false, false, false, true) },
-    HeaderField { layer: Layer::Tcp, name: "Window", offset: 14, len: 2, role: role(false, false, false, false, true) },
-    HeaderField { layer: Layer::Tcp, name: "Checksum", offset: 16, len: 2, role: role(false, false, false, false, true) },
-    HeaderField { layer: Layer::Tcp, name: "Urgent Pointer", offset: 18, len: 2, role: role(false, false, false, false, true) },
+    HeaderField {
+        layer: Layer::Tcp,
+        name: "Source Port",
+        offset: 0,
+        len: 2,
+        role: role(true, false, false, false, false),
+    },
+    HeaderField {
+        layer: Layer::Tcp,
+        name: "Destination Port",
+        offset: 2,
+        len: 2,
+        role: role(true, false, false, false, false),
+    },
+    HeaderField {
+        layer: Layer::Tcp,
+        name: "Sequence Number",
+        offset: 4,
+        len: 4,
+        role: role(false, false, false, true, false),
+    },
+    HeaderField {
+        layer: Layer::Tcp,
+        name: "Acknowledgment Number",
+        offset: 8,
+        len: 4,
+        role: role(false, false, false, false, true),
+    },
+    HeaderField {
+        layer: Layer::Tcp,
+        name: "Data Offset/Resvd/ECN/Control",
+        offset: 12,
+        len: 2,
+        role: role(false, false, false, false, true),
+    },
+    HeaderField {
+        layer: Layer::Tcp,
+        name: "Window",
+        offset: 14,
+        len: 2,
+        role: role(false, false, false, false, true),
+    },
+    HeaderField {
+        layer: Layer::Tcp,
+        name: "Checksum",
+        offset: 16,
+        len: 2,
+        role: role(false, false, false, false, true),
+    },
+    HeaderField {
+        layer: Layer::Tcp,
+        name: "Urgent Pointer",
+        offset: 18,
+        len: 2,
+        role: role(false, false, false, false, true),
+    },
 ];
 
 /// Fields of the matrix belonging to one layer, in offset order.
@@ -156,7 +318,8 @@ mod tests {
         for f in FIELD_MATRIX {
             if f.role.varied_by_paris {
                 assert!(
-                    !f.role.used_for_load_balancing || f.layer == Layer::IcmpEcho && f.name == "Checksum",
+                    !f.role.used_for_load_balancing
+                        || f.layer == Layer::IcmpEcho && f.name == "Checksum",
                     "Paris varies hashed field {} in {:?}",
                     f.name,
                     f.layer
@@ -212,10 +375,8 @@ mod tests {
 
     #[test]
     fn tcptraceroute_varies_only_ip_identification() {
-        let varied: Vec<_> = FIELD_MATRIX
-            .iter()
-            .filter(|f| f.role.varied_by_tcptraceroute)
-            .collect();
+        let varied: Vec<_> =
+            FIELD_MATRIX.iter().filter(|f| f.role.varied_by_tcptraceroute).collect();
         assert_eq!(varied.len(), 1);
         assert_eq!(varied[0].name, "Identification");
         assert_eq!(varied[0].layer, Layer::Ip);

@@ -189,8 +189,10 @@ mod tests {
 
     #[test]
     fn classic_icmp_probes_split_under_checksum_hashing() {
-        let a = Packet::new(ip(protocol::ICMP), Transport::Icmp(IcmpMessage::echo_probe_classic(7, 1)));
-        let b = Packet::new(ip(protocol::ICMP), Transport::Icmp(IcmpMessage::echo_probe_classic(7, 2)));
+        let a =
+            Packet::new(ip(protocol::ICMP), Transport::Icmp(IcmpMessage::echo_probe_classic(7, 1)));
+        let b =
+            Packet::new(ip(protocol::ICMP), Transport::Icmp(IcmpMessage::echo_probe_classic(7, 2)));
         assert_ne!(
             FlowPolicy::FirstFourOctets.flow_key(&a),
             FlowPolicy::FirstFourOctets.flow_key(&b)
@@ -200,8 +202,14 @@ mod tests {
 
     #[test]
     fn paris_icmp_probes_stay_in_one_flow() {
-        let a = Packet::new(ip(protocol::ICMP), Transport::Icmp(IcmpMessage::echo_probe_paris(0xaaaa, 1)));
-        let b = Packet::new(ip(protocol::ICMP), Transport::Icmp(IcmpMessage::echo_probe_paris(0xaaaa, 2)));
+        let a = Packet::new(
+            ip(protocol::ICMP),
+            Transport::Icmp(IcmpMessage::echo_probe_paris(0xaaaa, 1)),
+        );
+        let b = Packet::new(
+            ip(protocol::ICMP),
+            Transport::Icmp(IcmpMessage::echo_probe_paris(0xaaaa, 2)),
+        );
         for policy in FlowPolicy::ALL {
             assert_eq!(policy.flow_key(&a), policy.flow_key(&b), "policy {policy:?}");
         }
@@ -210,7 +218,8 @@ mod tests {
     #[test]
     fn tcp_seq_variation_stays_in_one_flow() {
         let a = Packet::new(ip(protocol::TCP), Transport::Tcp(TcpSegment::syn_probe(50000, 80, 1)));
-        let b = Packet::new(ip(protocol::TCP), Transport::Tcp(TcpSegment::syn_probe(50000, 80, 999)));
+        let b =
+            Packet::new(ip(protocol::TCP), Transport::Tcp(TcpSegment::syn_probe(50000, 80, 999)));
         for policy in FlowPolicy::ALL {
             assert_eq!(policy.flow_key(&a), policy.flow_key(&b), "policy {policy:?}");
         }

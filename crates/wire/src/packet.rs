@@ -118,7 +118,26 @@ impl Packet {
     /// The transport bytes as they appear on the wire — what a router
     /// would quote into a Time Exceeded message.
     pub fn transport_bytes(&self) -> Vec<u8> {
-        self.emit()[HEADER_LEN..].to_vec()
+        let mut out = Vec::new();
+        self.emit_transport_into(&mut out);
+        out
+    }
+
+    /// Emit the transport bytes into `scratch`, reusing its allocation.
+    /// This is the quoting path routers take for every ICMP they
+    /// originate; with a recycled buffer it performs no allocation and
+    /// never serializes the IP header.
+    pub fn emit_transport_into(&self, scratch: &mut Vec<u8>) {
+        let mut ip = self.ip;
+        ip.protocol = self.transport.protocol();
+        ip.total_length = (HEADER_LEN + self.transport.len()) as u16;
+        scratch.clear();
+        scratch.resize(self.transport.len(), 0);
+        match &self.transport {
+            Transport::Udp(u) => u.emit(scratch, &ip),
+            Transport::Tcp(t) => t.emit(scratch, &ip),
+            Transport::Icmp(i) => i.emit(scratch),
+        }
     }
 
     /// The first eight transport octets (zero-padded), i.e. the region a

@@ -35,13 +35,7 @@ pub struct UdpDatagram {
 impl UdpDatagram {
     /// A datagram whose checksum will be computed normally on emit.
     pub fn new(src_port: u16, dst_port: u16, payload: Vec<u8>) -> Self {
-        UdpDatagram {
-            src_port,
-            dst_port,
-            checksum: 0,
-            checksum_pinned: false,
-            payload,
-        }
+        UdpDatagram { src_port, dst_port, checksum: 0, checksum_pinned: false, payload }
     }
 
     /// Build a datagram whose *Checksum field equals `target`*, Paris
@@ -71,13 +65,7 @@ impl UdpDatagram {
         let word = solve_payload_word(c.raw(), target);
         let mut payload = vec![0u8; payload_len];
         payload[..2].copy_from_slice(&word.to_be_bytes());
-        UdpDatagram {
-            src_port,
-            dst_port,
-            checksum: target,
-            checksum_pinned: true,
-            payload,
-        }
+        UdpDatagram { src_port, dst_port, checksum: target, checksum_pinned: true, payload }
     }
 
     /// Total length (header + payload) in octets.

@@ -1,0 +1,26 @@
+//! Print a canonical digest of a small fixed-seed campaign.
+//!
+//! Used to check that performance refactors of the simulator hot path
+//! leave campaign results bit-identical: run it before and after a
+//! change and diff the output. Routing dynamics are disabled so the
+//! digest isolates the deterministic forwarding/response path.
+//!
+//! ```sh
+//! cargo run --release --example campaign_digest
+//! ```
+
+use paris_traceroute_repro::campaign::{run, CampaignConfig, DynamicsConfig};
+use paris_traceroute_repro::topogen::{generate, InternetConfig};
+
+fn main() {
+    let net = generate(&InternetConfig::tiny(42));
+    let config = CampaignConfig {
+        rounds: 3,
+        shards: 4,
+        seed: 99,
+        dynamics: DynamicsConfig::none(),
+        ..CampaignConfig::default()
+    };
+    let result = run(&net, &config);
+    println!("{}", paris_traceroute_repro::campaign::report_digest(&result));
+}

@@ -20,10 +20,7 @@ fn explore(label: &str, sc: &scenarios::Scenario, seed: u64) {
         let addrs: Vec<String> = hop.interfaces.iter().map(|a| a.to_string()).collect();
         let width = hop.interfaces.len();
         let class = if width >= 2 {
-            format!(
-                " — {:?}",
-                classify_balancer(&mut tx, sc.destination, hop.ttl, 12, &config)
-            )
+            format!(" — {:?}", classify_balancer(&mut tx, sc.destination, hop.ttl, 12, &config))
         } else {
             String::new()
         };
@@ -45,10 +42,6 @@ fn main() {
         &scenarios::fig6(BalancerKind::PerFlow(FlowPolicy::FiveTuple)),
         11,
     );
-    explore(
-        "Fig. 6 topology, per-packet balancers",
-        &scenarios::fig6(BalancerKind::PerPacket),
-        11,
-    );
+    explore("Fig. 6 topology, per-packet balancers", &scenarios::fig6(BalancerKind::PerPacket), 11);
     explore("plain chain (no balancing)", &scenarios::linear(6), 11);
 }

@@ -5,7 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use pt_core::{trace, ClassicUdp, ParisUdp, MeasuredRoute, TraceConfig};
+use pt_core::{trace, ClassicUdp, MeasuredRoute, ParisUdp, TraceConfig};
 use pt_netsim::node::BalancerKind;
 use pt_netsim::{scenarios, SimTransport, Simulator};
 use pt_wire::FlowPolicy;
@@ -28,7 +28,12 @@ fn print_route(label: &str, route: &MeasuredRoute) {
                     .unwrap_or("");
                 println!(
                     "  {:>2}  {:<15} {:>10}  probe-ttl={:?} resp-ttl={:?} ipid={:?}{flag}",
-                    hop.ttl, a.to_string(), rtt, p.probe_ttl, p.response_ttl, p.ip_id
+                    hop.ttl,
+                    a.to_string(),
+                    rtt,
+                    p.probe_ttl,
+                    p.response_ttl,
+                    p.ip_id
                 );
             }
             None => println!("  {:>2}  *", hop.ttl),
@@ -69,5 +74,8 @@ fn main() {
     let c = classic_route.addresses();
     let p = paris_route.addresses();
     println!("classic hops 7..8: {:?} → can pair A with D (a false link)", &c[6..8]);
-    println!("paris   hops 7..8: {:?} → one physical path, stars where routers are silent", &p[6..8]);
+    println!(
+        "paris   hops 7..8: {:?} → one physical path, stars where routers are silent",
+        &p[6..8]
+    );
 }

@@ -1,0 +1,246 @@
+//! A workspace-local stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment cannot reach crates.io, so this vendors the
+//! slice of the criterion 0.5 API the `pt-bench` targets use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`black_box`], [`Throughput`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple — a warm-up pass, then
+//! `sample_size` timed batches reported as mean/min time per iteration.
+//! `--test` (what `cargo bench -- --test` passes) runs every closure
+//! exactly once so CI can smoke the benches without paying for timing
+//! runs; a positional argument filters benchmarks by substring, like the
+//! real harness.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// An opaque identity function the optimizer must assume is effectful.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Per-benchmark throughput annotation (reported, not used in math).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark harness: collects and times registered benchmarks.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, test_mode: false, filter: None }
+    }
+}
+
+impl Criterion {
+    /// Number of timed batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Apply command-line arguments (`--test`, name filter); called by
+    /// [`criterion_group!`]'s generated runner.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                // Flags the real harness accepts and we can ignore.
+                s if s.starts_with('-') => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    fn skipped(&self, name: &str) -> bool {
+        self.filter.as_deref().is_some_and(|f| !name.contains(f))
+    }
+
+    /// Run (or, in test mode, smoke) one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if self.skipped(name) {
+            return self;
+        }
+        let mut bencher =
+            Bencher { test_mode: self.test_mode, sample_size: self.sample_size, report: None };
+        f(&mut bencher);
+        match bencher.report {
+            Some(r) if !self.test_mode => println!(
+                "{name:<48} time: [mean {} min {}] ({} samples)",
+                fmt_duration(r.mean),
+                fmt_duration(r.min),
+                self.sample_size,
+            ),
+            _ => println!("{name:<48} ... ok (test mode)"),
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, prefix: name.to_string() }
+    }
+}
+
+/// Measurement summary for one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Fastest observed batch, per iteration.
+    pub min: Duration,
+}
+
+/// Times a single benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Time `body`, amortizing over enough iterations per batch that
+    /// timer resolution is irrelevant.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        if self.test_mode {
+            black_box(body());
+            return;
+        }
+        // Warm-up and batch sizing: aim for ~5 ms per batch.
+        let start = Instant::now();
+        black_box(body());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        let per_batch =
+            (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 100_000) as usize;
+        let mut mean_total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..per_batch {
+                black_box(body());
+            }
+            let batch = t.elapsed() / per_batch as u32;
+            mean_total += batch;
+            min = min.min(batch);
+        }
+        self.report = Some(Report { mean: mean_total / self.sample_size as u32, min });
+    }
+
+    /// The measurement summary, if a timing run happened.
+    pub fn report(&self) -> Option<Report> {
+        self.report
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput label.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks (reported only).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// End the group (no-op; provided for API parity).
+    pub fn finish(self) {}
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declare a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declare the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0u64;
+        c.bench_function("smoke/add", |b| b.iter(|| ran = black_box(ran.wrapping_add(1))));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn groups_compose_names() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Bytes(64));
+        let mut hits = 0u32;
+        g.bench_function("inner", |b| b.iter(|| hits = black_box(hits + 1)));
+        g.finish();
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn format_covers_scales() {
+        assert!(fmt_duration(Duration::from_nanos(5)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(5)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).ends_with("s"));
+    }
+}

@@ -15,10 +15,8 @@ fn shard_count_does_not_change_totals() {
     // invariant to the partitioning.
     let net = small_net(44);
     for shards in [1, 3, 8] {
-        let result = run(
-            &net,
-            &CampaignConfig { rounds: 2, shards, seed: 9, ..CampaignConfig::default() },
-        );
+        let result =
+            run(&net, &CampaignConfig { rounds: 2, shards, seed: 9, ..CampaignConfig::default() });
         assert_eq!(result.classic_report.routes_total, 300, "shards = {shards}");
         assert_eq!(result.classic_report.destinations, 150);
         assert_eq!(result.paris_report.routes_total, 300);
@@ -28,10 +26,8 @@ fn shard_count_does_not_change_totals() {
 #[test]
 fn paris_dominates_classic_on_every_anomaly_family() {
     let net = small_net(45);
-    let result = run(
-        &net,
-        &CampaignConfig { rounds: 10, shards: 8, seed: 10, ..CampaignConfig::default() },
-    );
+    let result =
+        run(&net, &CampaignConfig { rounds: 10, shards: 8, seed: 10, ..CampaignConfig::default() });
     let c = &result.classic_report;
     let p = &result.paris_report;
     assert!(c.pct_routes_with_loop >= p.pct_routes_with_loop);
@@ -45,10 +41,8 @@ fn paris_dominates_classic_on_every_anomaly_family() {
 fn attribution_covers_every_classic_loop() {
     // Percentages over classic loop instances must sum to ~100.
     let net = small_net(46);
-    let result = run(
-        &net,
-        &CampaignConfig { rounds: 8, shards: 8, seed: 11, ..CampaignConfig::default() },
-    );
+    let result =
+        run(&net, &CampaignConfig { rounds: 8, shards: 8, seed: 11, ..CampaignConfig::default() });
     if result.classic.loop_instance_count() == 0 {
         return; // nothing to attribute at this seed/scale
     }
@@ -134,10 +128,7 @@ fn keep_routes_records_both_tools_every_round() {
         },
     );
     assert_eq!(result.routes.len(), 150 * rounds * 2);
-    let classic = result
-        .routes
-        .iter()
-        .filter(|(t, _, _)| *t == pt_core::StrategyId::ClassicUdp)
-        .count();
+    let classic =
+        result.routes.iter().filter(|(t, _, _)| *t == pt_core::StrategyId::ClassicUdp).count();
     assert_eq!(classic, 150 * rounds);
 }

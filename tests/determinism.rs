@@ -1,0 +1,60 @@
+//! Campaign-level determinism: with a fixed seed, a campaign's entire
+//! `ComparisonReport` must be bit-identical across runs — including runs
+//! that construct fresh simulators, exercising the copy-on-write routing
+//! overlay and the borrow-based forwarding hot path end to end. This is
+//! the regression gate for simulator performance refactors: any change
+//! that perturbs event order, RNG consumption or routing semantics
+//! surfaces here as a digest mismatch.
+
+use paris_traceroute_repro::campaign::{
+    report_digest, run, CampaignConfig, CampaignResult, DynamicsConfig,
+};
+use paris_traceroute_repro::topogen::{generate, InternetConfig, SyntheticInternet};
+
+fn net() -> SyntheticInternet {
+    generate(&InternetConfig::tiny(42))
+}
+
+fn campaign(dynamics: DynamicsConfig) -> CampaignResult {
+    let config =
+        CampaignConfig { rounds: 3, shards: 4, seed: 99, dynamics, ..CampaignConfig::default() };
+    run(&net(), &config)
+}
+
+#[test]
+fn comparison_report_is_bit_identical_across_runs() {
+    let a = campaign(DynamicsConfig::default());
+    let b = campaign(DynamicsConfig::default());
+    assert_eq!(a.comparison, b.comparison, "comparison must be a pure function of the seed");
+    assert_eq!(a.classic_report, b.classic_report);
+    assert_eq!(a.paris_report, b.paris_report);
+    assert_eq!(report_digest(&a), report_digest(&b), "canonical digests must match byte-for-byte");
+}
+
+#[test]
+fn comparison_report_is_bit_identical_without_dynamics() {
+    // With dynamics off the digest isolates the forwarding/response hot
+    // path — exactly what campaign_digest.rs prints for refactor diffs.
+    let a = campaign(DynamicsConfig::none());
+    let b = campaign(DynamicsConfig::none());
+    assert_eq!(a.comparison, b.comparison);
+    assert_eq!(report_digest(&a), report_digest(&b));
+}
+
+#[test]
+fn digest_reflects_every_report_field() {
+    let result = campaign(DynamicsConfig::none());
+    let digest = report_digest(&result);
+    for needle in [
+        "classic:",
+        "paris:",
+        "loop_causes:",
+        "cycle_causes:",
+        "diamond_per_flow_pct:",
+        "loops_only_in_paris_pct:",
+        "routes_total",
+        "probes_sent",
+    ] {
+        assert!(digest.contains(needle), "digest missing {needle:?}:\n{digest}");
+    }
+}

@@ -9,12 +9,7 @@ use paris_traceroute_repro::netsim::{SimTransport, Simulator};
 use paris_traceroute_repro::topogen::{generate, InternetConfig};
 
 fn tiny_net_config(seed: u64) -> InternetConfig {
-    InternetConfig {
-        seed,
-        n_destinations: 12,
-        n_core: 3,
-        ..InternetConfig::default()
-    }
+    InternetConfig { seed, n_destinations: 12, n_core: 3, ..InternetConfig::default() }
 }
 
 proptest! {
