@@ -1,0 +1,111 @@
+//! E10 — campaign execution throughput: the work-stealing pool of
+//! per-destination simulator tasks vs the serial single-worker runner.
+//!
+//! The serial run *is* the PR-1-style baseline: one thread claiming
+//! every `(destination, round)` unit in order. Because results are
+//! worker-count-invariant (see `tests/worker_invariance.rs`), the
+//! worker knob changes only wall-clock — which is exactly what this
+//! bench measures. It asserts two throughput floors in real timing
+//! runs (never under `cargo bench -- --test`, the CI smoke pass, where
+//! wall-clock on loaded runners would flake):
+//!
+//! * always: the pool machinery (deques, per-unit resets, arena churn)
+//!   may cost at most ~25% of serial throughput on a single core;
+//! * with ≥ 4 hardware threads: 8 workers must deliver ≥ 2× the serial
+//!   trace throughput.
+//!
+//! A real timing run writes the measured numbers to `BENCH_pr2.json`
+//! at the workspace root.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pt_bench::header;
+use pt_campaign::{run, CampaignConfig};
+use pt_topogen::{generate, InternetConfig, SyntheticInternet};
+
+const DESTS: usize = 100;
+const ROUNDS: usize = 6;
+
+fn config(workers: usize) -> CampaignConfig {
+    CampaignConfig { rounds: ROUNDS, workers, seed: 8, ..CampaignConfig::default() }
+}
+
+/// Best-of-N wall-clock seconds for a full campaign at `workers`.
+fn best_run_secs(net: &SyntheticInternet, workers: usize, runs: usize) -> f64 {
+    (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            let result = run(net, &config(workers));
+            assert!(result.classic_report.routes_total > 0);
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn experiment() -> (f64, f64) {
+    header("E10 / perf", "campaign throughput: work-stealing pool vs serial runner");
+    let net =
+        generate(&InternetConfig { n_destinations: DESTS, seed: 8, ..InternetConfig::default() });
+    let traces = (DESTS * ROUNDS * 2) as f64;
+    let smoke = std::env::args().any(|a| a == "--test");
+    let runs = if smoke { 1 } else { 3 };
+    let _warmup = best_run_secs(&net, 1, 1);
+    let serial_secs = best_run_secs(&net, 1, runs);
+    let pooled_secs = best_run_secs(&net, 8, runs);
+    let serial_tps = traces / serial_secs;
+    let pooled_tps = traces / pooled_secs;
+    let speedup = pooled_tps / serial_tps;
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    println!("  {traces:.0} traces per campaign ({DESTS} dests x {ROUNDS} rounds x 2 tools)");
+    println!("  serial (1 worker):   {serial_secs:>8.4} s  = {serial_tps:>9.0} traces/s");
+    println!("  pool   (8 workers):  {pooled_secs:>8.4} s  = {pooled_tps:>9.0} traces/s");
+    println!("  speedup: {speedup:.2}x on {cores} hardware thread(s)");
+    if !smoke {
+        // Throughput floors — wall-clock gates, skipped in smoke mode.
+        assert!(speedup >= 0.75, "pool machinery costs too much even single-core: {speedup:.2}x");
+        if cores >= 4 {
+            assert!(
+                speedup >= 2.0,
+                "8 workers on {cores} hardware threads must beat the serial \
+                 runner by >= 2x, got {speedup:.2}x"
+            );
+        } else {
+            println!("  ({cores} hardware thread(s): >= 2x parallel floor not applicable)");
+        }
+    }
+    (serial_tps, pooled_tps)
+}
+
+fn write_baseline(serial_tps: f64, pooled_tps: f64) {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let json = format!(
+        "{{\n  \"bench\": \"campaign_pool\",\n  \"campaign\": {{\"destinations\": {DESTS}, \"rounds\": {ROUNDS}, \"tools\": 2}},\n  \"hardware_threads\": {cores},\n  \"serial_traces_per_sec\": {serial_tps:.0},\n  \"pool8_traces_per_sec\": {pooled_tps:.0},\n  \"speedup\": {:.2}\n}}\n",
+        pooled_tps / serial_tps,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr2.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("  baseline written to BENCH_pr2.json"),
+        Err(e) => println!("  (could not write BENCH_pr2.json: {e})"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let (serial_tps, pooled_tps) = experiment();
+    // `cargo bench -- --test` (the CI smoke run) must not clobber the
+    // committed baseline with unwarmed single-shot numbers.
+    if !std::env::args().any(|a| a == "--test") {
+        write_baseline(serial_tps, pooled_tps);
+    }
+    let net =
+        generate(&InternetConfig { n_destinations: DESTS, seed: 8, ..InternetConfig::default() });
+    c.bench_function("campaign_pool/serial_1_worker", |b| b.iter(|| run(&net, &config(1))));
+    c.bench_function("campaign_pool/pool_8_workers", |b| b.iter(|| run(&net, &config(8))));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -25,9 +25,8 @@ fn experiment() {
         if c.mid_route_stars < c.stars { "matches (mid-route < total)" } else { "MISMATCH" }
     );
     println!(
-        "  virtual probing time per shard: {:.0} s for {} destination-rounds (paper: ~71 min per 5,000-dest round)",
-        result.mean_virtual_secs_per_shard,
-        c.routes_total / 8,
+        "  virtual probing time per destination: {:.1} s across {} rounds (paper: ~71 min per 5,000-dest round)",
+        result.mean_virtual_secs, c.rounds,
     );
     assert!(c.mid_route_stars < c.stars);
     assert_eq!(c.destinations as usize, net.dests.len());
@@ -37,7 +36,7 @@ fn bench(c: &mut Criterion) {
     experiment();
     let net = generate(&InternetConfig { n_destinations: 100, ..InternetConfig::default() });
     c.bench_function("campaign/one_round_100_dests", |b| {
-        b.iter(|| run(&net, &CampaignConfig { rounds: 1, shards: 8, ..CampaignConfig::default() }))
+        b.iter(|| run(&net, &CampaignConfig { rounds: 1, workers: 8, ..CampaignConfig::default() }))
     });
     // Shard spin-up alone: with copy-on-write routing state this no
     // longer copies any table, so it stays O(nodes) however many host

@@ -39,7 +39,7 @@ fn bench(c: &mut Criterion) {
     });
     let config = pt_campaign::CampaignConfig {
         rounds: 4,
-        shards: 4,
+        workers: 4,
         keep_routes: true,
         ..Default::default()
     };

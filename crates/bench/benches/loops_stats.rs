@@ -38,7 +38,7 @@ fn collect_routes() -> Vec<pt_core::MeasuredRoute> {
     });
     let config = pt_campaign::CampaignConfig {
         rounds: 4,
-        shards: 4,
+        workers: 4,
         keep_routes: true,
         ..Default::default()
     };

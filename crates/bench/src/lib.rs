@@ -34,7 +34,7 @@ pub fn mini_campaign(
     seed: u64,
 ) -> (SyntheticInternet, CampaignResult) {
     let net = generate(&InternetConfig { n_destinations, seed, ..InternetConfig::default() });
-    let config = CampaignConfig { rounds, shards: 8, seed, ..CampaignConfig::default() };
+    let config = CampaignConfig { rounds, workers: 8, seed, ..CampaignConfig::default() };
     let result = run(&net, &config);
     (net, result)
 }

@@ -178,7 +178,7 @@ pub fn render_report(result: &CampaignResult) -> String {
          - mid-route stars (classic): {} (paper: 2.6 M)\n\
          - Paris: {} routes with a loop = {:.2}% (classic: {:.2}%)\n\
          - diamonds, classic: {} — Paris: {}\n\
-         - mean virtual probing time per shard: {:.1} s",
+         - mean virtual probing time per destination: {:.1} s",
         c.rounds,
         c.destinations,
         c.routes_total,
@@ -189,7 +189,7 @@ pub fn render_report(result: &CampaignResult) -> String {
         c.pct_routes_with_loop,
         c.diamonds_total,
         result.paris_report.diamonds_total,
-        result.mean_virtual_secs_per_shard,
+        result.mean_virtual_secs,
     );
     out
 }
@@ -228,7 +228,7 @@ mod tests {
     #[test]
     fn report_renders_every_paper_metric() {
         let net = generate(&InternetConfig::tiny(5));
-        let result = run(&net, &CampaignConfig { rounds: 2, shards: 2, ..Default::default() });
+        let result = run(&net, &CampaignConfig { rounds: 2, workers: 2, ..Default::default() });
         let text = render_report(&result);
         for needle in [
             "routes with a loop",

@@ -1,5 +1,19 @@
-//! The side-by-side campaign runner.
+//! The side-by-side campaign runner: a work-stealing pool of
+//! per-destination trace tasks.
+//!
+//! Execution is decomposed into `(destination, round)` work units — one
+//! Paris + one classic trace over a pristine per-unit simulator — that
+//! `workers` threads claim from pre-distributed work-stealing deques.
+//! Every random draw a unit makes (probe ports, dynamics, the
+//! simulator's own node RNGs) derives from `splitmix64` mixes of
+//! `(campaign seed, destination index, round)`, never from the worker
+//! that happens to claim the unit; accumulator merging is
+//! order-insensitive and kept routes are re-sorted into unit order. The
+//! result: the campaign's entire [`ComparisonReport`] digest is
+//! byte-identical for any worker count, and `workers` is a pure
+//! performance knob (the property `tests/worker_invariance.rs` pins).
 
+use crossbeam_deque::{Steal, Stealer, Worker};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -7,7 +21,7 @@ use pt_anomaly::{compare, CampaignAccumulator, ComparisonReport, ToolReport};
 use pt_core::{trace, ClassicUdp, MeasuredRoute, ParisUdp, StrategyId, TraceConfig};
 use pt_netsim::routing::NextHop;
 use pt_netsim::time::SimDuration;
-use pt_netsim::{SimTransport, Simulator};
+use pt_netsim::{SimTransport, SimulatorPool};
 use pt_topogen::{DestInfo, SyntheticInternet};
 
 /// Routing-dynamics knobs: the §4 causes that are *events*, not topology.
@@ -60,8 +74,10 @@ impl DynamicsConfig {
 pub struct CampaignConfig {
     /// Measurement rounds (556 in the paper).
     pub rounds: usize,
-    /// Parallel probing processes (32 in the paper).
-    pub shards: usize,
+    /// Worker threads claiming `(destination, round)` work units (the
+    /// paper ran 32 parallel probing processes). Purely a performance
+    /// knob: results are bit-identical for any value.
+    pub workers: usize,
     /// Per-trace parameters; defaults to the paper's.
     pub trace: TraceConfig,
     /// Routing dynamics.
@@ -77,7 +93,7 @@ impl Default for CampaignConfig {
     fn default() -> Self {
         CampaignConfig {
             rounds: 25,
-            shards: 8,
+            workers: 8,
             trace: TraceConfig::paper(),
             dynamics: DynamicsConfig::default(),
             seed: 20061025, // the paper's publication date
@@ -100,10 +116,23 @@ pub struct CampaignResult {
     pub paris_report: ToolReport,
     /// The classic-vs-Paris attribution.
     pub comparison: ComparisonReport,
-    /// Kept routes (tool, round, route), when requested.
+    /// Kept routes (tool, round, route), when requested; sorted into
+    /// `(round, destination)` unit order regardless of worker count.
     pub routes: Vec<(StrategyId, usize, MeasuredRoute)>,
-    /// Virtual seconds of probing per shard, averaged.
-    pub mean_virtual_secs_per_shard: f64,
+    /// Mean virtual seconds of probing per destination (summed over all
+    /// of a destination's rounds). Worker-count-independent, unlike the
+    /// per-shard figure it replaces.
+    pub mean_virtual_secs: f64,
+}
+
+impl CampaignResult {
+    /// The pre-pool name for the virtual-time figure. The old value
+    /// depended on how destinations were sharded over threads; the new
+    /// field does not, so the two are equal only at `workers = 1`.
+    #[deprecated(note = "use the worker-count-independent `mean_virtual_secs` field")]
+    pub fn mean_virtual_secs_per_shard(&self) -> f64 {
+        self.mean_virtual_secs
+    }
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -113,45 +142,71 @@ fn splitmix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-struct ShardOutput {
+/// A `(destination, round)` work unit, encoded round-major so unit order
+/// matches the old serial iteration (`for round { for dest }`).
+type UnitId = u32;
+
+/// What one worker accumulated over every unit it claimed. Accumulator
+/// merging is order-insensitive (integer counters, sets, and per-key
+/// u64 maps), so workers can fold units in claim order; everything
+/// order-sensitive (kept routes, virtual-time floats) is tagged with
+/// its unit id and re-ordered deterministically by the merge step.
+struct WorkerOutput {
     classic: CampaignAccumulator,
     paris: CampaignAccumulator,
-    routes: Vec<(StrategyId, usize, MeasuredRoute)>,
-    virtual_secs: f64,
+    routes: Vec<(UnitId, StrategyId, usize, MeasuredRoute)>,
+    virtual_secs: Vec<(UnitId, f64)>,
 }
 
 /// Run a full side-by-side campaign over `net`.
 pub fn run(net: &SyntheticInternet, config: &CampaignConfig) -> CampaignResult {
-    assert!(config.shards >= 1 && config.rounds >= 1);
-    let shards: Vec<Vec<&DestInfo>> = (0..config.shards)
-        .map(|s| net.dests.iter().skip(s).step_by(config.shards).collect())
-        .collect();
+    assert!(config.workers >= 1 && config.rounds >= 1);
+    let n_dests = net.dests.len();
+    let n_units = n_dests * config.rounds;
+    assert!(u32::try_from(n_units).is_ok(), "campaign too large for u32 unit ids");
+    let workers = config.workers.min(n_units).max(1);
 
-    let outputs: Vec<ShardOutput> = std::thread::scope(|scope| {
-        let handles: Vec<_> = shards
-            .iter()
+    // Pre-distribute units round-robin across per-worker deques; a
+    // worker that drains its own queue steals the oldest units from its
+    // siblings, so stragglers (expensive destinations, dynamics-heavy
+    // units) get rebalanced instead of serializing the tail.
+    let locals: Vec<Worker<UnitId>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<UnitId>> = locals.iter().map(Worker::stealer).collect();
+    for unit in 0..n_units {
+        locals[unit % workers].push(unit as UnitId);
+    }
+
+    let outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
+        let handles: Vec<_> = locals
+            .into_iter()
             .enumerate()
-            .map(|(shard_idx, dests)| {
-                let config = config.clone();
-                let topo = net.topology.clone();
-                let source = net.source;
-                scope.spawn(move || run_shard(shard_idx, dests, topo, source, &config))
+            .map(|(worker_idx, local)| {
+                let stealers = &stealers;
+                let config = &*config;
+                scope.spawn(move || run_worker(worker_idx, local, stealers, net, config))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("shard panicked")).collect()
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
     });
 
     let mut classic = CampaignAccumulator::new(StrategyId::ClassicUdp);
     let mut paris = CampaignAccumulator::new(StrategyId::ParisUdp);
-    let mut routes = Vec::new();
-    let mut virt = 0.0;
-    let n = outputs.len() as f64;
+    let mut tagged_routes = Vec::new();
+    let mut virt: Vec<(UnitId, f64)> = Vec::with_capacity(n_units);
     for out in outputs {
         classic.merge(out.classic);
         paris.merge(out.paris);
-        routes.extend(out.routes);
-        virt += out.virtual_secs / n;
+        tagged_routes.extend(out.routes);
+        virt.extend(out.virtual_secs);
     }
+    // Which worker ran which unit is scheduling noise; re-ordering by
+    // unit id (Paris before classic within a unit) makes the kept-route
+    // list and the float summation below pure functions of the seed.
+    tagged_routes.sort_by_key(|(unit, tool, _, _)| (*unit, *tool != StrategyId::ParisUdp));
+    virt.sort_by_key(|(unit, _)| *unit);
+    let routes = tagged_routes.into_iter().map(|(_, tool, round, route)| (tool, round, route));
+    let total_virtual: f64 = virt.iter().map(|(_, v)| v).sum();
+
     let classic_report = classic.report();
     let paris_report = paris.report();
     let comparison = compare(&classic, &paris);
@@ -161,63 +216,113 @@ pub fn run(net: &SyntheticInternet, config: &CampaignConfig) -> CampaignResult {
         classic_report,
         paris_report,
         comparison,
-        routes,
-        mean_virtual_secs_per_shard: virt,
+        routes: routes.collect(),
+        mean_virtual_secs: total_virtual / n_dests.max(1) as f64,
     }
 }
 
-fn run_shard(
-    shard_idx: usize,
-    dests: &[&DestInfo],
-    topo: std::sync::Arc<pt_netsim::Topology>,
-    source: pt_netsim::NodeId,
-    config: &CampaignConfig,
-) -> ShardOutput {
-    let mut rng = StdRng::seed_from_u64(splitmix64(config.seed ^ (shard_idx as u64 + 1)));
-    let sim = Simulator::new(topo.clone(), splitmix64(config.seed) ^ shard_idx as u64);
-    let mut tx = SimTransport::new(sim, source);
-    let mut classic_acc = CampaignAccumulator::new(StrategyId::ClassicUdp);
-    let mut paris_acc = CampaignAccumulator::new(StrategyId::ParisUdp);
-    let mut routes = Vec::new();
-
-    for round in 0..config.rounds {
-        for dest in dests {
-            // Routing events are exogenous: draw independently before
-            // each trace of the pair.
-            schedule_dynamics(&mut rng, &mut tx, dest, &topo, config);
-
-            // Paris traceroute first (§3 order), fixed random five-tuple.
-            let sp = rng.gen_range(10_000..=60_000);
-            let dp = rng.gen_range(10_000..=60_000);
-            let mut paris = ParisUdp::new(sp, dp);
-            let route = trace(&mut tx, &mut paris, dest.addr, config.trace);
-            paris_acc.ingest(round, &route);
-            if config.keep_routes {
-                routes.push((StrategyId::ParisUdp, round, route));
-            }
-
-            schedule_dynamics(&mut rng, &mut tx, dest, &topo, config);
-
-            // Then classic traceroute. Each trace is a fresh process in
-            // the study, so the PID — and with it the source port — is
-            // new every time; this is what lets classic explore different
-            // flow mappings across rounds.
-            let pid = rng.gen::<u16>() & 0x7fff;
-            let mut classic = ClassicUdp::new(pid);
-            let route = trace(&mut tx, &mut classic, dest.addr, config.trace);
-            classic_acc.ingest(round, &route);
-            if config.keep_routes {
-                routes.push((StrategyId::ClassicUdp, round, route));
+/// Claim the next unit: own queue first, then steal the oldest work
+/// from siblings. No unit is ever pushed after the workers start, so an
+/// all-empty sweep means the campaign is drained.
+fn next_unit(
+    worker_idx: usize,
+    local: &Worker<UnitId>,
+    stealers: &[Stealer<UnitId>],
+) -> Option<UnitId> {
+    if let Some(unit) = local.pop() {
+        return Some(unit);
+    }
+    let n = stealers.len();
+    for off in 1..n {
+        let victim = &stealers[(worker_idx + off) % n];
+        loop {
+            match victim.steal() {
+                Steal::Success(unit) => return Some(unit),
+                Steal::Empty => break,
+                Steal::Retry => continue,
             }
         }
     }
+    None
+}
 
-    ShardOutput {
-        classic: classic_acc,
-        paris: paris_acc,
-        routes,
-        virtual_secs: tx.now().as_secs_f64(),
+fn run_worker(
+    worker_idx: usize,
+    local: Worker<UnitId>,
+    stealers: &[Stealer<UnitId>],
+    net: &SyntheticInternet,
+    config: &CampaignConfig,
+) -> WorkerOutput {
+    // One pool per worker: after the first unit, every acquire hands
+    // back the same warm simulator (arena slots, payload buffers and
+    // event-queue capacity intact) reset for the next destination.
+    let mut pool = SimulatorPool::new(net.topology.clone());
+    let mut out = WorkerOutput {
+        classic: CampaignAccumulator::new(StrategyId::ClassicUdp),
+        paris: CampaignAccumulator::new(StrategyId::ParisUdp),
+        routes: Vec::new(),
+        virtual_secs: Vec::new(),
+    };
+    while let Some(unit) = next_unit(worker_idx, &local, stealers) {
+        run_unit(unit, net, config, &mut pool, &mut out);
     }
+    out
+}
+
+/// Run one `(destination, round)` unit: a Paris + classic trace pair
+/// over a pristine simulator, with every draw derived from
+/// `(seed, destination, round)` so the claiming worker is irrelevant.
+fn run_unit(
+    unit: UnitId,
+    net: &SyntheticInternet,
+    config: &CampaignConfig,
+    pool: &mut SimulatorPool,
+    out: &mut WorkerOutput,
+) {
+    let n_dests = net.dests.len();
+    let dest_idx = unit as usize % n_dests;
+    let round = unit as usize / n_dests;
+    let dest = &net.dests[dest_idx];
+
+    // Per-destination RNG stream, whitened per round. The two
+    // independent mixes keep the campaign-level draws (ports, dynamics)
+    // and the simulator's node seeds decorrelated.
+    let dest_stream = splitmix64(config.seed ^ splitmix64(dest_idx as u64 + 1));
+    let unit_stream = splitmix64(dest_stream ^ (round as u64 + 1));
+    let mut rng = StdRng::seed_from_u64(unit_stream);
+    let sim = pool.acquire(splitmix64(unit_stream ^ 0x5157_ea11));
+    let mut tx = SimTransport::new(sim, net.source);
+
+    // Routing events are exogenous: draw independently before each
+    // trace of the pair.
+    schedule_dynamics(&mut rng, &mut tx, dest, &net.topology, config);
+
+    // Paris traceroute first (§3 order), fixed random five-tuple.
+    let sp = rng.gen_range(10_000..=60_000);
+    let dp = rng.gen_range(10_000..=60_000);
+    let mut paris = ParisUdp::new(sp, dp);
+    let route = trace(&mut tx, &mut paris, dest.addr, config.trace);
+    out.paris.ingest(round, &route);
+    if config.keep_routes {
+        out.routes.push((unit, StrategyId::ParisUdp, round, route));
+    }
+
+    schedule_dynamics(&mut rng, &mut tx, dest, &net.topology, config);
+
+    // Then classic traceroute. Each trace is a fresh process in the
+    // study, so the PID — and with it the source port — is new every
+    // time; this is what lets classic explore different flow mappings
+    // across rounds.
+    let pid = rng.gen::<u16>() & 0x7fff;
+    let mut classic = ClassicUdp::new(pid);
+    let route = trace(&mut tx, &mut classic, dest.addr, config.trace);
+    out.classic.ingest(round, &route);
+    if config.keep_routes {
+        out.routes.push((unit, StrategyId::ClassicUdp, round, route));
+    }
+
+    out.virtual_secs.push((unit, tx.now().as_secs_f64()));
+    pool.release(tx.into_simulator());
 }
 
 /// Maybe schedule a transient forwarding loop or a balancer flap covering
@@ -296,7 +401,7 @@ mod tests {
     use pt_topogen::{generate, InternetConfig};
 
     fn quick_config(rounds: usize) -> CampaignConfig {
-        CampaignConfig { rounds, shards: 4, seed: 99, ..CampaignConfig::default() }
+        CampaignConfig { rounds, workers: 4, seed: 99, ..CampaignConfig::default() }
     }
 
     #[test]
@@ -308,7 +413,7 @@ mod tests {
         assert_eq!(result.paris_report.routes_total, 3 * 40);
         assert_eq!(result.classic_report.destinations, 40);
         assert!(result.classic_report.responses > 0);
-        assert!(result.mean_virtual_secs_per_shard > 0.0);
+        assert!(result.mean_virtual_secs > 0.0);
     }
 
     #[test]
@@ -319,6 +424,47 @@ mod tests {
         assert_eq!(a.classic_report, b.classic_report);
         assert_eq!(a.paris_report, b.paris_report);
         assert_eq!(a.comparison, b.comparison);
+    }
+
+    #[test]
+    fn worker_count_is_a_pure_performance_knob() {
+        let net = generate(&InternetConfig::tiny(42));
+        let base = run(&net, &quick_config(2));
+        // 1000 exceeds the 80 units and exercises the clamp.
+        for workers in [1, 3, 16, 1000] {
+            let cfg = CampaignConfig { rounds: 2, workers, seed: 99, ..CampaignConfig::default() };
+            let result = run(&net, &cfg);
+            assert_eq!(result.classic_report, base.classic_report, "workers = {workers}");
+            assert_eq!(result.paris_report, base.paris_report, "workers = {workers}");
+            assert_eq!(result.comparison, base.comparison, "workers = {workers}");
+            assert_eq!(result.mean_virtual_secs, base.mean_virtual_secs, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn kept_routes_come_back_in_unit_order_for_any_worker_count() {
+        let net = generate(&InternetConfig::tiny(42));
+        let order = |workers: usize| {
+            let cfg = CampaignConfig {
+                rounds: 2,
+                workers,
+                seed: 99,
+                keep_routes: true,
+                ..CampaignConfig::default()
+            };
+            run(&net, &cfg)
+                .routes
+                .iter()
+                .map(|(tool, round, route)| (*tool, *round, route.destination))
+                .collect::<Vec<_>>()
+        };
+        let serial = order(1);
+        assert_eq!(serial.len(), 2 * 40 * 2, "two tools per destination per round");
+        // Round-major unit order, Paris before classic within a unit.
+        assert_eq!(serial[0].0, StrategyId::ParisUdp);
+        assert_eq!(serial[1].0, StrategyId::ClassicUdp);
+        assert_eq!(serial[0].2, serial[1].2, "pair traces the same destination");
+        assert_eq!(order(5), serial, "route order survives parallel claiming");
     }
 
     #[test]

@@ -156,7 +156,7 @@ mod tests {
         let net = generate(&config);
         let cc = CampaignConfig {
             rounds: 6,
-            shards: 4,
+            workers: 4,
             dynamics: DynamicsConfig::none(),
             keep_routes: true,
             seed: 3,

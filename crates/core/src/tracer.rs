@@ -30,6 +30,13 @@ pub trait Transport {
     /// Block until the next inbound packet or `deadline`, whichever is
     /// first. `None` means the deadline passed silently.
     fn recv_until(&mut self, deadline: SimTime) -> Option<(SimTime, Packet)>;
+    /// Hand back a packet the tracer has finished with, so the transport
+    /// can recycle its buffers. The tracer calls this for every packet
+    /// `recv_until` produced; transports without a recycling story just
+    /// drop it.
+    fn release(&mut self, packet: Packet) {
+        let _ = packet;
+    }
 }
 
 impl Transport for SimTransport {
@@ -47,6 +54,12 @@ impl Transport for SimTransport {
 
     fn recv_until(&mut self, deadline: SimTime) -> Option<(SimTime, Packet)> {
         SimTransport::recv_until(self, deadline)
+    }
+
+    fn release(&mut self, packet: Packet) {
+        // Responses go back into the simulator's payload-buffer pool, so
+        // a long trace loop reuses the same few buffers end to end.
+        self.simulator_mut().recycle(packet);
     }
 }
 
@@ -140,10 +153,12 @@ pub fn trace<T: Transport>(
             let mut saw_terminal = false;
             while let Some((at, resp)) = transport.recv_until(deadline) {
                 let Some(matched) = strategy.match_response(destination, &resp) else {
+                    transport.release(resp);
                     continue; // stray packet; keep waiting
                 };
                 let matched = if matched == CURRENT_PROBE { idx } else { matched };
                 let Some(slot_info) = registry.remove(&matched) else {
+                    transport.release(resp);
                     continue; // duplicate or unknown probe id
                 };
                 let (kind, probe_ttl) = classify(&resp);
@@ -158,7 +173,9 @@ pub fn trace<T: Transport>(
                 if kind.terminates() {
                     saw_terminal = true;
                 }
-                if matched == idx {
+                let answered_current = matched == idx;
+                transport.release(resp);
+                if answered_current {
                     break; // current probe answered; next probe or hop
                 }
             }

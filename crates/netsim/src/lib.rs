@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod arena;
 pub mod builder;
 pub mod node;
 pub mod routing;
@@ -37,10 +38,11 @@ pub mod topology;
 pub mod transport;
 
 pub use addr::Ipv4Prefix;
+pub use arena::{PacketArena, PacketRef};
 pub use builder::TopologyBuilder;
 pub use node::{BalancerKind, HostConfig, NatConfig, NodeKind, RouterConfig};
 pub use routing::{NextHop, NodeRouting, RouteDelta, RouteOverlay, RoutingTable};
-pub use sim::{SimStats, Simulator};
+pub use sim::{SimStats, Simulator, SimulatorPool};
 pub use time::{SimDuration, SimTime};
 pub use topology::{LinkId, NodeId, Topology};
 pub use transport::SimTransport;

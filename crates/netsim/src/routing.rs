@@ -162,6 +162,14 @@ impl RouteDelta {
         Self::default()
     }
 
+    /// A shared pristine delta, for borrow-only views over state that
+    /// has no changes to show (the simulator's epoch-lazy node slots
+    /// that have not been touched since a reset).
+    pub fn pristine_ref() -> &'static RouteDelta {
+        static PRISTINE: RouteDelta = RouteDelta { changes: None };
+        &PRISTINE
+    }
+
     /// True when no route differs from the base.
     pub fn is_pristine(&self) -> bool {
         self.changes.as_ref().is_none_or(|c| c.entries.is_empty() && c.hosts.is_empty())

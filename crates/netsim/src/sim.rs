@@ -5,6 +5,17 @@
 //! from per-node `StdRng`s derived from the global seed, so a run is a
 //! pure function of `(topology, seed, injected packets, scheduled route
 //! changes)`.
+//!
+//! In-flight packets are arena-resident ([`crate::arena::PacketArena`]):
+//! events and the forwarding hot path move 4-byte [`PacketRef`] handles,
+//! mutate TTL/NAT fields in place, and recycle both slots and payload
+//! buffers, so steady-state forwarding performs no per-event heap
+//! allocation. Node state is *epoch-lazy*: [`Simulator::reset`] bumps an
+//! epoch instead of touching every node, and a node's RNG/IP-ID/routing
+//! delta are re-derived from the seed on first use after a reset. That
+//! makes reset O(in-flight + delivered), which is what lets the campaign
+//! runner afford a pristine simulator per `(destination, round)` work
+//! unit ([`SimulatorPool`]).
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -20,6 +31,7 @@ use pt_wire::tcp::{flags as tcp_flags, TcpSegment};
 use pt_wire::{Packet, Transport, UnreachableCode};
 
 use crate::addr::Ipv4Prefix;
+use crate::arena::{PacketArena, PacketRef};
 use crate::node::{BalancerKind, HostConfig, NodeKind, RouterConfig};
 use crate::routing::{NextHop, NodeRouting, RouteDelta};
 use crate::time::SimTime;
@@ -59,8 +71,10 @@ pub struct SimStats {
 #[derive(Debug)]
 enum EventKind {
     /// A packet arrives at `node`. `iface_in` is `None` for packets the
-    /// node itself originates (injections and generated responses).
-    Arrival { node: NodeId, iface_in: Option<usize>, packet: Packet },
+    /// node itself originates (injections and generated responses). The
+    /// packet itself stays parked in the arena: the event (and every
+    /// heap sift it goes through) carries only the 4-byte handle.
+    Arrival { node: NodeId, iface_in: Option<usize>, packet: PacketRef },
     /// Install (`Some`) or remove (`None`) a route at `node` — the
     /// routing-dynamics hook.
     RouteSet { node: NodeId, prefix: Ipv4Prefix, next_hop: Option<NextHop> },
@@ -94,7 +108,7 @@ impl Ord for Scheduled {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct NodeState {
     /// Copy-on-write routing changes over the topology's shared base
     /// table (borrowed at lookup time, never copied). A pristine delta
@@ -110,6 +124,35 @@ struct NodeState {
     salt: u64,
     /// Last time this node generated an ICMP (for rate limiting).
     last_icmp: Option<SimTime>,
+    /// Whether this node is already listed in `Simulator::dirty_inboxes`
+    /// for the current epoch (keeps that list O(distinct nodes), not
+    /// O(deliveries)).
+    inbox_dirty: bool,
+    /// Which simulator epoch this slot was derived for. A slot whose
+    /// epoch trails the simulator's is *stale*: its contents are
+    /// leftovers from before the last [`Simulator::reset`] and must be
+    /// re-derived before use ([`Simulator::freshen`]).
+    epoch: u64,
+}
+
+impl NodeState {
+    /// Derive node `idx`'s state for `epoch` from the simulator seed —
+    /// a pure function of `(seed, idx)`, so it does not matter *when*
+    /// (or in what order) stale slots get re-derived.
+    fn fresh(seed: u64, idx: usize, epoch: u64) -> NodeState {
+        let node_seed = splitmix64(seed ^ splitmix64(idx as u64 + 1));
+        NodeState {
+            // O(1) and allocation-free: the base table stays in the
+            // topology, the delta starts empty.
+            routing: RouteDelta::new(),
+            ip_id: (node_seed >> 32) as u16,
+            rng: StdRng::seed_from_u64(node_seed),
+            salt: splitmix64(node_seed ^ 0xabcd_ef01),
+            last_icmp: None,
+            inbox_dirty: false,
+            epoch,
+        }
+    }
 }
 
 /// The simulator: owns runtime state over a shared immutable topology.
@@ -121,10 +164,20 @@ pub struct Simulator {
     queue: BinaryHeap<Scheduled>,
     state: Vec<NodeState>,
     inbox: HashMap<NodeId, VecDeque<(SimTime, Packet)>>,
+    /// Nodes whose inbox went non-empty since the last reset, so reset
+    /// drains O(delivered) inboxes instead of sweeping the whole map.
+    dirty_inboxes: Vec<NodeId>,
     stats: SimStats,
     /// Recycled buffer for quoting offending packets into ICMP, so the
     /// response path performs no per-packet allocation.
     scratch: Vec<u8>,
+    /// Slab holding every in-flight packet; events carry [`PacketRef`]s.
+    arena: PacketArena,
+    /// Seed all node state derives from (current epoch's).
+    seed: u64,
+    /// Bumped by [`Simulator::reset`]; node slots lazily re-derive when
+    /// their recorded epoch trails this.
+    epoch: u64,
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -138,29 +191,73 @@ impl Simulator {
     /// Build a simulator over `topology`, deriving all randomness from
     /// `seed`.
     pub fn new(topology: Arc<Topology>, seed: u64) -> Self {
-        let state = (0..topology.nodes.len())
-            .map(|i| {
-                let node_seed = splitmix64(seed ^ splitmix64(i as u64 + 1));
-                NodeState {
-                    // O(1) and allocation-free: the base table stays in
-                    // the topology, the delta starts empty.
-                    routing: RouteDelta::new(),
-                    ip_id: (node_seed >> 32) as u16,
-                    rng: StdRng::seed_from_u64(node_seed),
-                    salt: splitmix64(node_seed ^ 0xabcd_ef01),
-                    last_icmp: None,
-                }
-            })
-            .collect();
+        // Node slots start stale (epoch 0 < 1) and derive themselves
+        // from `seed` on first touch, so construction clones one cheap
+        // template per node instead of seeding every RNG up front.
+        let template = NodeState {
+            routing: RouteDelta::new(),
+            ip_id: 0,
+            rng: StdRng::seed_from_u64(0),
+            salt: 0,
+            last_icmp: None,
+            inbox_dirty: false,
+            epoch: 0,
+        };
         Simulator {
+            state: vec![template; topology.nodes.len()],
             topo: topology,
             clock: SimTime::ZERO,
             next_seq: 0,
             queue: BinaryHeap::new(),
-            state,
             inbox: HashMap::new(),
+            dirty_inboxes: Vec::new(),
             stats: SimStats::default(),
             scratch: Vec::new(),
+            arena: PacketArena::new(),
+            seed,
+            epoch: 1,
+        }
+    }
+
+    /// Rewind to the state `Simulator::new(topology, seed)` would
+    /// produce, while keeping every allocation warm: the event queue's
+    /// capacity, the arena's slots and payload-buffer pool, the inbox
+    /// deques and the ICMP scratch buffer all survive. Node state is
+    /// epoch-lazy, so the cost is O(in-flight + undelivered packets),
+    /// *not* O(nodes) — cheap enough to call once per `(destination,
+    /// round)` campaign work unit.
+    pub fn reset(&mut self, seed: u64) {
+        // drain() hands events back in arbitrary order without the
+        // per-pop sift-down — ordering is irrelevant when everything is
+        // being released — and keeps the heap's capacity.
+        for ev in self.queue.drain() {
+            if let EventKind::Arrival { packet, .. } = ev.kind {
+                self.arena.release(packet);
+            }
+        }
+        for node in self.dirty_inboxes.drain(..) {
+            if let Some(q) = self.inbox.get_mut(&node) {
+                for (_, packet) in q.drain(..) {
+                    self.arena.recycle_packet(packet);
+                }
+            }
+        }
+        debug_assert!(self.arena.is_empty(), "in-flight packet leaked across reset");
+        self.clock = SimTime::ZERO;
+        self.next_seq = 0;
+        self.stats = SimStats::default();
+        self.seed = seed;
+        self.epoch += 1;
+    }
+
+    /// Re-derive `node`'s state if it is stale (first touch after a
+    /// reset). Every path that reads or writes mutable node state goes
+    /// through here first.
+    #[inline]
+    fn freshen(&mut self, node: NodeId) {
+        let st = &mut self.state[node.0];
+        if st.epoch != self.epoch {
+            *st = NodeState::fresh(self.seed, node.0, self.epoch);
         }
     }
 
@@ -187,7 +284,26 @@ impl Simulator {
 
     /// Inject a packet originated by `node` at the current time.
     pub fn inject(&mut self, node: NodeId, packet: Packet) {
+        let packet = self.arena.alloc(packet);
         self.schedule(self.clock, EventKind::Arrival { node, iface_in: None, packet });
+    }
+
+    /// Hand a packet that already left the simulator (a consumed inbox
+    /// delivery) back, so its payload buffer rejoins the recycling pool.
+    pub fn recycle(&mut self, packet: Packet) {
+        self.arena.recycle_packet(packet);
+    }
+
+    /// Number of packets currently in flight (arena-resident).
+    pub fn in_flight(&self) -> usize {
+        self.arena.live()
+    }
+
+    /// Total arena slots ever created. Bounded in-flight traffic stops
+    /// growing this after warm-up — the zero-allocation evidence the
+    /// benches and tests check.
+    pub fn arena_slots(&self) -> usize {
+        self.arena.slot_count()
     }
 
     /// Install (`Some`) or remove (`None`) a route at `node` at time `at`
@@ -217,13 +333,16 @@ impl Simulator {
             EventKind::Arrival { node, iface_in, packet } => {
                 self.process_arrival(node, iface_in, packet)
             }
-            EventKind::RouteSet { node, prefix, next_hop } => match next_hop {
-                Some(nh) => self.state[node.0].routing.set(prefix, nh),
-                None => {
-                    let topo = Arc::clone(&self.topo);
-                    self.state[node.0].routing.remove(&topo.node(node).routing, prefix);
+            EventKind::RouteSet { node, prefix, next_hop } => {
+                self.freshen(node);
+                match next_hop {
+                    Some(nh) => self.state[node.0].routing.set(prefix, nh),
+                    None => {
+                        let topo = Arc::clone(&self.topo);
+                        self.state[node.0].routing.remove(&topo.node(node).routing, prefix);
+                    }
                 }
-            },
+            }
         }
         true
     }
@@ -246,7 +365,19 @@ impl Simulator {
 
     /// Take everything delivered to `node` since the last call.
     pub fn take_inbox(&mut self, node: NodeId) -> Vec<(SimTime, Packet)> {
-        self.inbox.remove(&node).map(Vec::from).unwrap_or_default()
+        let mut out = Vec::new();
+        self.take_inbox_into(node, &mut out);
+        out
+    }
+
+    /// Drain everything delivered to `node` since the last call into
+    /// `out`, appending. The inbox's deque is drained in place (its
+    /// allocation survives), so round loops that pass a recycled buffer
+    /// reallocate nothing.
+    pub fn take_inbox_into(&mut self, node: NodeId, out: &mut Vec<(SimTime, Packet)>) {
+        if let Some(q) = self.inbox.get_mut(&node) {
+            out.extend(q.drain(..));
+        }
     }
 
     /// Pop the oldest delivery to `node`, if any.
@@ -260,21 +391,25 @@ impl Simulator {
     }
 
     /// Read `node`'s live routing state (tests and dynamics helpers):
-    /// the shared base table merged with this simulator's delta.
+    /// the shared base table merged with this simulator's delta. A node
+    /// not yet touched since the last reset shows a pristine delta.
     pub fn routing_of(&self, node: NodeId) -> NodeRouting<'_> {
-        NodeRouting::new(&self.topo.node(node).routing, &self.state[node.0].routing)
+        let st = &self.state[node.0];
+        let delta = if st.epoch == self.epoch { &st.routing } else { RouteDelta::pristine_ref() };
+        NodeRouting::new(&self.topo.node(node).routing, delta)
     }
 
     // ------------------------------------------------------------------
     // Packet processing
     // ------------------------------------------------------------------
 
-    fn process_arrival(&mut self, node: NodeId, iface_in: Option<usize>, mut packet: Packet) {
+    fn process_arrival(&mut self, node: NodeId, iface_in: Option<usize>, packet: PacketRef) {
         // One Arc bump pins the topology so node config is *borrowed* for
-        // the whole arrival — the hot path clones no NodeKind/config.
+        // the whole arrival — the hot path clones no NodeKind/config, and
+        // the packet itself stays parked in the arena.
         let topo = Arc::clone(&self.topo);
         let n = topo.node(node);
-        if n.owns_addr(packet.ip.dst) {
+        if n.owns_addr(self.arena.get(packet).ip.dst) {
             self.deliver_local(node, n, packet);
             return;
         }
@@ -286,23 +421,24 @@ impl Simulator {
                 } else {
                     // A host never forwards transit traffic.
                     self.stats.dropped_no_route += 1;
+                    self.arena.release(packet);
                 }
             }
             NodeKind::Router(cfg) => {
                 if iface_in.is_some() {
-                    let ttl = packet.ip.ttl;
+                    let ttl = self.arena.get(packet).ip.ttl;
                     if ttl == 0 || (ttl == 1 && !cfg.zero_ttl_forwarding) {
                         // Expired: quote the packet exactly as received —
                         // probe TTL 1 normally, 0 past a zero-TTL forwarder.
-                        self.expire(node, iface_in, cfg, &packet);
+                        self.expire(node, iface_in, cfg, packet);
                         return;
                     }
                     // Normal decrement; the Fig. 4 misconfiguration sends
                     // TTL 1 onward as TTL 0.
-                    packet.ip.ttl -= 1;
+                    self.arena.get_mut(packet).ip.ttl -= 1;
                 }
                 if let Some(code) = cfg.broken {
-                    self.respond_unreachable(node, iface_in, cfg, &packet, code);
+                    self.respond_unreachable(node, iface_in, cfg, packet, code);
                     return;
                 }
                 self.forward(node, iface_in, packet);
@@ -310,13 +446,20 @@ impl Simulator {
         }
     }
 
-    fn deliver_local(&mut self, node: NodeId, n: &Node, packet: Packet) {
+    fn deliver_local(&mut self, node: NodeId, n: &Node, packet: PacketRef) {
         self.stats.delivered += 1;
+        let packet = self.arena.take(packet);
         let probed_addr = packet.ip.dst;
         let response = match &n.kind {
             NodeKind::Host(h) => self.host_response(node, h, probed_addr, &packet),
             NodeKind::Router(r) => self.router_local_response(node, r, probed_addr, &packet),
         };
+        self.freshen(node);
+        let st = &mut self.state[node.0];
+        if !st.inbox_dirty {
+            st.inbox_dirty = true;
+            self.dirty_inboxes.push(node);
+        }
         self.inbox.entry(node).or_default().push_back((self.clock, packet));
         if let Some(resp) = response {
             self.originate(node, resp);
@@ -351,11 +494,12 @@ impl Simulator {
                     return None;
                 }
                 self.stats.echo_replies_sent += 1;
-                let reply = IcmpMessage::EchoReply {
-                    identifier: *identifier,
-                    seq: *seq,
-                    payload: payload.clone(),
-                };
+                // Echo the payload through a pooled buffer: once the
+                // pool is warm the reply path allocates nothing.
+                let mut echoed = self.arena.grab_payload();
+                echoed.extend_from_slice(payload);
+                let reply =
+                    IcmpMessage::EchoReply { identifier: *identifier, seq: *seq, payload: echoed };
                 Some(self.build_response(
                     node,
                     probed_addr,
@@ -415,11 +559,11 @@ impl Simulator {
             }
             Transport::Icmp(IcmpMessage::EchoRequest { identifier, seq, payload }) => {
                 self.stats.echo_replies_sent += 1;
-                let reply = IcmpMessage::EchoReply {
-                    identifier: *identifier,
-                    seq: *seq,
-                    payload: payload.clone(),
-                };
+                // Same pooled-buffer echo as the host path.
+                let mut echoed = self.arena.grab_payload();
+                echoed.extend_from_slice(payload);
+                let reply =
+                    IcmpMessage::EchoReply { identifier: *identifier, seq: *seq, payload: echoed };
                 Some(self.build_response(
                     node,
                     probed_addr,
@@ -450,25 +594,31 @@ impl Simulator {
         node: NodeId,
         iface_in: Option<usize>,
         cfg: &RouterConfig,
-        packet: &Packet,
+        packet: PacketRef,
     ) {
         if cfg.silent {
             self.stats.dropped_silent += 1;
+            self.arena.release(packet);
             return;
         }
         if self.rate_limited(node, cfg) {
             self.stats.dropped_rate_limited += 1;
+            self.arena.release(packet);
             return;
         }
+        // The probe is consumed here: move it out, quote it, then hand
+        // its payload buffer back to the pool.
+        let packet = self.arena.take(packet);
         let src_addr = self.responding_addr(node, iface_in);
         self.stats.time_exceeded_sent += 1;
         let resp = self.icmp_response(
             node,
             src_addr,
             cfg.icmp_initial_ttl,
-            packet,
+            &packet,
             IcmpKind::TimeExceeded,
         );
+        self.arena.recycle_packet(packet);
         self.originate(node, resp);
     }
 
@@ -477,31 +627,36 @@ impl Simulator {
         node: NodeId,
         iface_in: Option<usize>,
         cfg: &RouterConfig,
-        packet: &Packet,
+        packet: PacketRef,
         code: UnreachableCode,
     ) {
         if cfg.silent {
             self.stats.dropped_silent += 1;
+            self.arena.release(packet);
             return;
         }
         if self.rate_limited(node, cfg) {
             self.stats.dropped_rate_limited += 1;
+            self.arena.release(packet);
             return;
         }
+        let packet = self.arena.take(packet);
         let src_addr = self.responding_addr(node, iface_in);
         self.stats.dest_unreachable_sent += 1;
         let resp = self.icmp_response(
             node,
             src_addr,
             cfg.icmp_initial_ttl,
-            packet,
+            &packet,
             IcmpKind::Unreachable(code),
         );
+        self.arena.recycle_packet(packet);
         self.originate(node, resp);
     }
 
     fn rate_limited(&mut self, node: NodeId, cfg: &RouterConfig) -> bool {
         let Some(min) = cfg.icmp_min_interval else { return false };
+        self.freshen(node);
         let state = &mut self.state[node.0];
         if let Some(last) = state.last_icmp {
             if self.clock.since(last) < min {
@@ -558,6 +713,7 @@ impl Simulator {
         initial_ttl: u8,
         transport: Transport,
     ) -> Packet {
+        self.freshen(node);
         let state = &mut self.state[node.0];
         let mut ip = Ipv4Header::new(src, dst, transport.protocol(), initial_ttl);
         ip.identification = state.ip_id;
@@ -568,41 +724,48 @@ impl Simulator {
     /// Send `packet` from `node` without TTL processing (the node is the
     /// packet's origin).
     fn originate(&mut self, node: NodeId, packet: Packet) {
+        let packet = self.arena.alloc(packet);
         self.forward(node, None, packet);
     }
 
-    fn forward(&mut self, node: NodeId, iface_in: Option<usize>, mut packet: Packet) {
+    fn forward(&mut self, node: NodeId, iface_in: Option<usize>, packet: PacketRef) {
+        self.freshen(node);
+        let topo = Arc::clone(&self.topo);
         // NAT: rewrite the source of anything leaving the stub.
-        if let NodeKind::Router(cfg) = &self.topo.node(node).kind {
+        if let NodeKind::Router(cfg) = &topo.node(node).kind {
             if let Some(nat) = &cfg.nat {
-                if packet.ip.src != nat.public && nat.is_inside(packet.ip.src) {
-                    packet.ip.src = nat.public;
+                let p = self.arena.get_mut(packet);
+                if p.ip.src != nat.public && nat.is_inside(p.ip.src) {
+                    p.ip.src = nat.public;
                     self.stats.nat_rewrites += 1;
                 }
             }
         }
-        let dst = packet.ip.dst;
+        let dst = self.arena.get(packet).ip.dst;
         // The next hop stays borrowed from the shared base table (or this
         // simulator's delta) for the whole egress decision; balanced
         // egress sets are indexed in place, never cloned (the RNG draw
-        // borrows a disjoint NodeState field).
-        let base = &self.topo.node(node).routing;
+        // borrows a disjoint NodeState field, the packet a disjoint
+        // Simulator field).
+        let base = &topo.node(node).routing;
         let st = &mut self.state[node.0];
         let Some(next_hop) = NodeRouting::new(base, &st.routing).lookup(dst) else {
             self.stats.dropped_no_route += 1;
+            self.arena.release(packet);
             return;
         };
         let egress = match next_hop {
             NextHop::Iface(i) => *i,
             NextHop::Blackhole => {
                 self.stats.dropped_blackhole += 1;
+                self.arena.release(packet);
                 return;
             }
             NextHop::Balanced { kind, egresses } => {
                 let n = egresses.len();
                 let idx = match kind {
                     BalancerKind::PerFlow(policy) => {
-                        let key = policy.flow_key(&packet).0;
+                        let key = policy.flow_key(self.arena.get(packet)).0;
                         (splitmix64(key ^ st.salt) % n as u64) as usize
                     }
                     BalancerKind::PerPacket => st.rng.gen_range(0..n),
@@ -621,17 +784,24 @@ impl Simulator {
         self.transmit(node, egress, packet);
     }
 
-    fn transmit(&mut self, node: NodeId, iface_idx: usize, packet: Packet) {
+    fn transmit(&mut self, node: NodeId, iface_idx: usize, packet: PacketRef) {
         let iface = self.topo.node(node).ifaces[iface_idx];
         let Some(link_id) = iface.link else {
             // Loopback/unattached interface: nowhere to go.
             self.stats.dropped_no_route += 1;
+            self.arena.release(packet);
             return;
         };
         let link = *self.topo.link(link_id);
-        if link.loss > 0.0 && self.state[node.0].rng.gen::<f64>() < link.loss {
-            self.stats.dropped_loss += 1;
-            return;
+        if link.loss > 0.0 {
+            // forward() freshened this node before routing the packet
+            // here, so the slot cannot be stale.
+            debug_assert_eq!(self.state[node.0].epoch, self.epoch);
+            if self.state[node.0].rng.gen::<f64>() < link.loss {
+                self.stats.dropped_loss += 1;
+                self.arena.release(packet);
+                return;
+            }
         }
         let other = link.other_end(node);
         self.stats.forwarded += 1;
@@ -640,6 +810,54 @@ impl Simulator {
             at,
             EventKind::Arrival { node: other.node, iface_in: Some(other.iface), packet },
         );
+    }
+}
+
+/// A pool of reusable [`Simulator`]s over one shared topology.
+///
+/// [`SimulatorPool::acquire`] hands out a simulator reset to the given
+/// seed — behaviorally identical to `Simulator::new(topology, seed)`,
+/// but with its event queue, arena slots, payload buffers and inbox
+/// deques already warm when a previously released simulator was
+/// available. Campaign workers keep one pool each, so per-destination
+/// trace tasks pay no construction or steady-state allocation cost
+/// after their first work unit.
+#[derive(Debug)]
+pub struct SimulatorPool {
+    topo: Arc<Topology>,
+    idle: Vec<Simulator>,
+}
+
+impl SimulatorPool {
+    /// An empty pool over `topology`.
+    pub fn new(topology: Arc<Topology>) -> Self {
+        SimulatorPool { topo: topology, idle: Vec::new() }
+    }
+
+    /// A simulator over the pool's topology, reset to `seed`.
+    pub fn acquire(&mut self, seed: u64) -> Simulator {
+        match self.idle.pop() {
+            Some(mut sim) => {
+                sim.reset(seed);
+                sim
+            }
+            None => Simulator::new(Arc::clone(&self.topo), seed),
+        }
+    }
+
+    /// Return a simulator for later reuse. Must have been built over
+    /// the pool's topology.
+    pub fn release(&mut self, sim: Simulator) {
+        debug_assert!(
+            Arc::ptr_eq(sim.topology(), &self.topo),
+            "released simulator belongs to a different topology"
+        );
+        self.idle.push(sim);
+    }
+
+    /// Number of idle simulators held.
+    pub fn idle_count(&self) -> usize {
+        self.idle.len()
     }
 }
 
@@ -1098,6 +1316,85 @@ mod tests {
         sim.inject(s, udp_probe(src, dst, 1, 33436));
         sim.run_to_quiescence();
         assert_eq!(sim.take_inbox(s)[0].1.ip.src, public);
+    }
+
+    #[test]
+    fn reset_matches_fresh_construction() {
+        // A lossy link plus a per-packet balancer would both do, but loss
+        // alone already makes per-node RNG state observable: if reset
+        // failed to rewind (or re-derive) anything, drop patterns and
+        // stats would diverge from a fresh simulator.
+        let mut b = TopologyBuilder::new();
+        let s = b.host("S", HostConfig::default());
+        let r = b.router("r", RouterConfig::default());
+        let d = b.host("D", HostConfig::default());
+        b.link(s, r, SimDuration::from_millis(1), 0.0);
+        b.link(r, d, SimDuration::from_millis(1), 0.4);
+        b.default_via(s, r);
+        b.default_via(r, d);
+        b.default_via(d, r);
+        let s_pfx = b.subnet_of(s);
+        b.route_via(r, s_pfx, s);
+        let dst = b.addr_of(d);
+        let topo = Arc::new(b.build());
+        let src = src_addr(&topo, s);
+        let run = |sim: &mut Simulator| {
+            let mut got = Vec::new();
+            for i in 0..12 {
+                sim.inject(s, udp_probe(src, dst, 5, 34000 + i));
+                sim.run_to_quiescence();
+            }
+            sim.take_inbox_into(s, &mut got);
+            (got, sim.stats())
+        };
+        let mut fresh = Simulator::new(topo.clone(), 42);
+        let expected = run(&mut fresh);
+        // Dirty a second simulator under a different seed, then reset it
+        // to 42: results must be bit-identical to the fresh build.
+        let mut reused = Simulator::new(topo.clone(), 7);
+        let _ = run(&mut reused);
+        reused.reset(42);
+        let got = run(&mut reused);
+        assert_eq!(got, expected, "reset(seed) must equal new(topo, seed)");
+    }
+
+    #[test]
+    fn reset_reverts_routing_dynamics() {
+        let (topo, s, _d, dst) = chain();
+        let r1 = topo.find("r1").unwrap();
+        let mut sim = Simulator::new(topo.clone(), 1);
+        sim.schedule_route_set(SimTime::ZERO, r1, Ipv4Prefix::DEFAULT, None);
+        sim.run_to_quiescence();
+        assert!(sim.routing_of(r1).lookup(dst).is_none(), "default route masked");
+        sim.reset(1);
+        assert!(sim.routing_of(r1).lookup(dst).is_some(), "reset restores the base table");
+        // And the sim still works end to end after the reset.
+        sim.inject(s, udp_probe(src_addr(&topo, s), dst, 30, 34567));
+        sim.run_to_quiescence();
+        assert_eq!(sim.take_inbox(s).len(), 1);
+    }
+
+    #[test]
+    fn arena_slots_stop_growing_after_warmup() {
+        let (topo, s, _d, dst) = chain();
+        let mut sim = Simulator::new(topo.clone(), 1);
+        let src = src_addr(&topo, s);
+        for i in 0..3 {
+            sim.inject(s, udp_probe(src, dst, 30, 34000 + i));
+            sim.run_to_quiescence();
+        }
+        assert_eq!(sim.in_flight(), 0, "quiescence leaves nothing in flight");
+        let warm = sim.arena_slots();
+        for i in 0..40 {
+            sim.inject(s, udp_probe(src, dst, 30, 35000 + i));
+            sim.run_to_quiescence();
+            sim.take_inbox(s);
+        }
+        assert_eq!(
+            sim.arena_slots(),
+            warm,
+            "steady-state forwarding must recycle slots, not allocate new ones"
+        );
     }
 
     #[test]

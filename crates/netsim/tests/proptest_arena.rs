@@ -1,0 +1,102 @@
+//! Property tests for [`PacketArena`]: under arbitrary alloc/free
+//! sequences, live refs never alias (every live handle reads back
+//! exactly the packet stored through it) and freed slots are always
+//! recycled before the slab grows.
+
+use proptest::prelude::*;
+use pt_netsim::arena::{PacketArena, PacketRef};
+use pt_wire::ipv4::{protocol, Ipv4Header};
+use pt_wire::{Packet, Transport, UdpDatagram};
+use std::net::Ipv4Addr;
+
+/// A packet whose identification/ports encode a unique tag, so aliasing
+/// (two refs resolving to one slot) is detectable by read-back.
+fn tagged_packet(tag: u32) -> Packet {
+    let ip =
+        Ipv4Header::new(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2), protocol::UDP, 9);
+    let mut p = Packet::new(
+        ip,
+        Transport::Udp(UdpDatagram::new((tag >> 16) as u16, 33435, vec![tag as u8; 4])),
+    );
+    p.ip.identification = tag as u16;
+    p
+}
+
+fn tag_of(p: &Packet) -> u32 {
+    match &p.transport {
+        Transport::Udp(u) => (u32::from(u.src_port) << 16) | u32::from(p.ip.identification),
+        other => panic!("arena test packets are UDP, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Model-check the slab against a shadow map: every interleaving of
+    /// allocs and frees keeps live packets un-aliased, frees really
+    /// free, and the slab never grows while a freed slot is available.
+    #[test]
+    fn alloc_free_sequences_never_alias_and_always_recycle(
+        ops in proptest::collection::vec((any::<bool>(), any::<u16>()), 1..120),
+    ) {
+        let mut arena = PacketArena::new();
+        // Shadow model: (ref, tag) for every live allocation.
+        let mut live: Vec<(PacketRef, u32)> = Vec::new();
+        let mut next_tag: u32 = 1;
+        let mut freed_available = 0usize;
+        for (is_alloc, pick) in ops {
+            if is_alloc || live.is_empty() {
+                let tag = next_tag;
+                next_tag += 1;
+                let before = arena.slot_count();
+                let r = arena.alloc(tagged_packet(tag));
+                if freed_available > 0 {
+                    prop_assert_eq!(
+                        arena.slot_count(), before,
+                        "alloc must recycle a freed slot before growing the slab"
+                    );
+                    freed_available -= 1;
+                } else {
+                    prop_assert_eq!(arena.slot_count(), before + 1);
+                }
+                prop_assert!(
+                    live.iter().all(|(other, _)| *other != r),
+                    "fresh ref aliases a live one"
+                );
+                live.push((r, tag));
+            } else {
+                let idx = usize::from(pick) % live.len();
+                let (r, tag) = live.swap_remove(idx);
+                let taken = arena.take(r);
+                prop_assert_eq!(tag_of(&taken), tag, "freed ref held someone else's packet");
+                freed_available += 1;
+            }
+            // No interleaving may corrupt any other live packet.
+            for (r, tag) in &live {
+                prop_assert_eq!(tag_of(arena.get(*r)), *tag, "live packet aliased/corrupted");
+            }
+            prop_assert_eq!(arena.live(), live.len());
+        }
+        // Drain everything: the arena must account for every slot.
+        for (r, tag) in live.drain(..) {
+            prop_assert_eq!(tag_of(&arena.take(r)), tag);
+        }
+        prop_assert!(arena.is_empty());
+    }
+
+    /// The payload pool round-trips buffers without ever handing out a
+    /// dirty one.
+    #[test]
+    fn payload_pool_hands_out_cleared_buffers(
+        tags in proptest::collection::vec(any::<u16>(), 1..40),
+    ) {
+        let mut arena = PacketArena::new();
+        for &t in &tags {
+            let r = arena.alloc(tagged_packet(u32::from(t)));
+            arena.release(r);
+            let buf = arena.grab_payload();
+            prop_assert!(buf.is_empty(), "pooled buffers must come back cleared");
+            arena.recycle_payload(buf);
+        }
+    }
+}

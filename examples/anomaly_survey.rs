@@ -30,9 +30,9 @@ fn main() {
         net.dests.iter().filter(|d| d.truth.firewalled).count(),
     );
 
-    println!("running {rounds} rounds × {n_destinations} destinations × 2 tools (32 shards)...");
+    println!("running {rounds} rounds × {n_destinations} destinations × 2 tools (32 workers)...");
     let started = std::time::Instant::now();
-    let config = CampaignConfig { rounds, shards: 32, keep_routes: true, ..Default::default() };
+    let config = CampaignConfig { rounds, workers: 32, keep_routes: true, ..Default::default() };
     let result = run(&net, &config);
     println!("  done in {:.1}s wall clock\n", started.elapsed().as_secs_f64());
 

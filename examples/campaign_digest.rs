@@ -16,7 +16,7 @@ fn main() {
     let net = generate(&InternetConfig::tiny(42));
     let config = CampaignConfig {
         rounds: 3,
-        shards: 4,
+        workers: 4,
         seed: 99,
         dynamics: DynamicsConfig::none(),
         ..CampaignConfig::default()

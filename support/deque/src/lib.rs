@@ -1,0 +1,258 @@
+//! A workspace-local, dependency-free stand-in for the `crossbeam-deque`
+//! crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the slice of the `crossbeam-deque` 0.8 API the
+//! campaign runner uses: [`Worker`] (a thread's local queue),
+//! [`Stealer`] (a handle other threads steal from), [`Injector`] (a
+//! shared global queue) and the [`Steal`] result.
+//!
+//! The real crate is a lock-free Chase–Lev deque; this stand-in guards a
+//! `VecDeque` with a `Mutex`. That is deliberate: the campaign's work
+//! units are whole trace pairs (hundreds of microseconds each), so queue
+//! operations are nowhere near the contention regime where lock-freedom
+//! pays, and a mutex keeps the semantics trivially correct. The API
+//! surface was kept compatible on purpose — if the build environment
+//! ever gains crates.io access, swap in the real dependency (see
+//! ROADMAP.md).
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// The result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// The queue was empty at the time of the attempt.
+    Empty,
+    /// One task was stolen.
+    Success(T),
+    /// The attempt lost a race and should be retried. The mutex-based
+    /// stand-in never loses races, so this variant is never produced
+    /// here — it exists so caller retry loops written against the real
+    /// crate compile unchanged.
+    Retry,
+}
+
+impl<T> Steal<T> {
+    /// True when the steal produced nothing because the queue was empty.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    /// True when a task was stolen.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    /// True when the attempt should be retried.
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+
+    /// The stolen task, if any.
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Which end [`Worker::pop`] takes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Flavor {
+    Fifo,
+    Lifo,
+}
+
+/// A worker's own queue. The owning thread pushes and pops; other
+/// threads steal through [`Stealer`] handles.
+#[derive(Debug)]
+pub struct Worker<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+    flavor: Flavor,
+}
+
+impl<T> Worker<T> {
+    /// A FIFO worker queue: `pop` takes the oldest task, matching the
+    /// order tasks were pushed — and matching what stealers take.
+    pub fn new_fifo() -> Self {
+        Worker { inner: Arc::new(Mutex::new(VecDeque::new())), flavor: Flavor::Fifo }
+    }
+
+    /// A LIFO worker queue: `pop` takes the most recently pushed task
+    /// (better locality for recursive work); stealers still take the
+    /// oldest.
+    pub fn new_lifo() -> Self {
+        Worker { inner: Arc::new(Mutex::new(VecDeque::new())), flavor: Flavor::Lifo }
+    }
+
+    /// Push a task onto the queue.
+    pub fn push(&self, task: T) {
+        self.inner.lock().expect("deque poisoned").push_back(task);
+    }
+
+    /// Pop a task from the owner's end (front for FIFO, back for LIFO).
+    pub fn pop(&self) -> Option<T> {
+        let mut q = self.inner.lock().expect("deque poisoned");
+        match self.flavor {
+            Flavor::Fifo => q.pop_front(),
+            Flavor::Lifo => q.pop_back(),
+        }
+    }
+
+    /// A handle other threads use to steal from this queue.
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { inner: Arc::clone(&self.inner) }
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("deque poisoned").len()
+    }
+
+    /// True when no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A handle for stealing tasks from another thread's [`Worker`] queue.
+/// Steals always take the oldest task.
+#[derive(Debug)]
+pub struct Stealer<T> {
+    inner: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Attempt to steal the oldest task.
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.lock().expect("deque poisoned").pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Number of queued tasks at the time of the call.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("deque poisoned").len()
+    }
+
+    /// True when no tasks were queued at the time of the call.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A shared global queue every worker can push to and steal from.
+#[derive(Debug, Default)]
+pub struct Injector<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> Injector<T> {
+    /// An empty injector.
+    pub fn new() -> Self {
+        Injector { inner: Mutex::new(VecDeque::new()) }
+    }
+
+    /// Push a task onto the global queue.
+    pub fn push(&self, task: T) {
+        self.inner.lock().expect("injector poisoned").push_back(task);
+    }
+
+    /// Attempt to steal the oldest task.
+    pub fn steal(&self) -> Steal<T> {
+        match self.inner.lock().expect("injector poisoned").pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("injector poisoned").len()
+    }
+
+    /// True when no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_pop_and_steal_take_oldest() {
+        let w = Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(w.pop(), Some(1));
+        let s = w.stealer();
+        assert_eq!(s.steal(), Steal::Success(2));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn lifo_pop_takes_newest_but_steal_takes_oldest() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.stealer().steal(), Steal::Success(1));
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(2));
+    }
+
+    #[test]
+    fn stealing_drains_across_threads() {
+        let w = Worker::new_fifo();
+        for i in 0..1000 {
+            w.push(i);
+        }
+        let total: u64 = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let s = w.stealer();
+                    scope.spawn(move || {
+                        let mut sum = 0u64;
+                        loop {
+                            match s.steal() {
+                                Steal::Success(v) => sum += v,
+                                Steal::Empty => return sum,
+                                Steal::Retry => continue,
+                            }
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total, 999 * 1000 / 2, "every task stolen exactly once");
+    }
+
+    #[test]
+    fn injector_is_fifo() {
+        let inj = Injector::new();
+        inj.push("a");
+        inj.push("b");
+        assert_eq!(inj.len(), 2);
+        assert_eq!(inj.steal(), Steal::Success("a"));
+        assert_eq!(inj.steal(), Steal::Success("b"));
+        assert!(inj.steal().is_empty());
+        assert!(inj.is_empty());
+    }
+}

@@ -10,14 +10,14 @@ fn small_net(seed: u64) -> pt_topogen::SyntheticInternet {
 }
 
 #[test]
-fn shard_count_does_not_change_totals() {
-    // Shards partition destinations; total routes and destinations are
-    // invariant to the partitioning.
+fn worker_count_does_not_change_totals() {
+    // Workers claim (destination, round) units; total routes and
+    // destinations are invariant to who claims what.
     let net = small_net(44);
-    for shards in [1, 3, 8] {
+    for workers in [1, 3, 8] {
         let result =
-            run(&net, &CampaignConfig { rounds: 2, shards, seed: 9, ..CampaignConfig::default() });
-        assert_eq!(result.classic_report.routes_total, 300, "shards = {shards}");
+            run(&net, &CampaignConfig { rounds: 2, workers, seed: 9, ..CampaignConfig::default() });
+        assert_eq!(result.classic_report.routes_total, 300, "workers = {workers}");
         assert_eq!(result.classic_report.destinations, 150);
         assert_eq!(result.paris_report.routes_total, 300);
     }
@@ -26,8 +26,10 @@ fn shard_count_does_not_change_totals() {
 #[test]
 fn paris_dominates_classic_on_every_anomaly_family() {
     let net = small_net(45);
-    let result =
-        run(&net, &CampaignConfig { rounds: 10, shards: 8, seed: 10, ..CampaignConfig::default() });
+    let result = run(
+        &net,
+        &CampaignConfig { rounds: 10, workers: 8, seed: 10, ..CampaignConfig::default() },
+    );
     let c = &result.classic_report;
     let p = &result.paris_report;
     assert!(c.pct_routes_with_loop >= p.pct_routes_with_loop);
@@ -42,7 +44,7 @@ fn attribution_covers_every_classic_loop() {
     // Percentages over classic loop instances must sum to ~100.
     let net = small_net(46);
     let result =
-        run(&net, &CampaignConfig { rounds: 8, shards: 8, seed: 11, ..CampaignConfig::default() });
+        run(&net, &CampaignConfig { rounds: 8, workers: 8, seed: 11, ..CampaignConfig::default() });
     if result.classic.loop_instance_count() == 0 {
         return; // nothing to attribute at this seed/scale
     }
@@ -78,7 +80,7 @@ fn dynamics_off_means_no_forwarding_loop_cycles() {
         &net,
         &CampaignConfig {
             rounds: 6,
-            shards: 8,
+            workers: 8,
             seed: 12,
             dynamics: DynamicsConfig::none(),
             ..CampaignConfig::default()
@@ -98,7 +100,7 @@ fn validation_never_reports_more_hits_than_flags() {
         &net,
         &CampaignConfig {
             rounds: 4,
-            shards: 4,
+            workers: 4,
             seed: 13,
             keep_routes: true,
             ..CampaignConfig::default()
@@ -121,7 +123,7 @@ fn keep_routes_records_both_tools_every_round() {
         &net,
         &CampaignConfig {
             rounds,
-            shards: 4,
+            workers: 4,
             seed: 14,
             keep_routes: true,
             ..CampaignConfig::default()

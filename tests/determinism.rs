@@ -17,7 +17,7 @@ fn net() -> SyntheticInternet {
 
 fn campaign(dynamics: DynamicsConfig) -> CampaignResult {
     let config =
-        CampaignConfig { rounds: 3, shards: 4, seed: 99, dynamics, ..CampaignConfig::default() };
+        CampaignConfig { rounds: 3, workers: 4, seed: 99, dynamics, ..CampaignConfig::default() };
     run(&net(), &config)
 }
 

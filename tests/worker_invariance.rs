@@ -1,0 +1,64 @@
+//! The pool refactor's headline guarantee: the worker count is a pure
+//! performance knob. Every random draw a `(destination, round)` work
+//! unit makes is derived from `(campaign seed, destination, round)` —
+//! never from the worker that claimed it — and merging is
+//! order-insensitive, so a fixed-seed campaign's canonical digest must
+//! be *byte-identical* for any number of workers.
+
+use paris_traceroute_repro::campaign::{
+    report_digest, run, CampaignConfig, CampaignResult, DynamicsConfig,
+};
+use paris_traceroute_repro::topogen::{generate, InternetConfig, SyntheticInternet};
+
+fn net() -> SyntheticInternet {
+    generate(&InternetConfig::tiny(42))
+}
+
+fn campaign(net: &SyntheticInternet, workers: usize, dynamics: DynamicsConfig) -> CampaignResult {
+    let config =
+        CampaignConfig { rounds: 3, workers, seed: 99, dynamics, ..CampaignConfig::default() };
+    run(net, &config)
+}
+
+#[test]
+fn digest_is_byte_identical_for_workers_1_4_8() {
+    let net = net();
+    let baseline = campaign(&net, 1, DynamicsConfig::default());
+    let baseline_digest = report_digest(&baseline);
+    for workers in [4, 8] {
+        let result = campaign(&net, workers, DynamicsConfig::default());
+        assert_eq!(result.comparison, baseline.comparison, "workers = {workers}");
+        assert_eq!(
+            report_digest(&result),
+            baseline_digest,
+            "digest must not depend on worker count (workers = {workers})"
+        );
+    }
+}
+
+#[test]
+fn digest_is_byte_identical_for_workers_1_4_8_without_dynamics() {
+    // Dynamics off isolates the forwarding/response hot path: if this
+    // fails while the dynamic variant passes, the per-unit *simulator*
+    // seeds leak worker identity; if both fail, the campaign-level
+    // draws (ports, dynamics) do.
+    let net = net();
+    let baseline = report_digest(&campaign(&net, 1, DynamicsConfig::none()));
+    for workers in [4, 8] {
+        let digest = report_digest(&campaign(&net, workers, DynamicsConfig::none()));
+        assert_eq!(digest, baseline, "workers = {workers}");
+    }
+}
+
+#[test]
+fn mean_virtual_secs_is_worker_count_independent() {
+    // Float summation order is pinned by sorting per-unit times into
+    // unit order before reducing, so even the f64 is bit-identical.
+    let net = net();
+    let baseline = campaign(&net, 1, DynamicsConfig::default()).mean_virtual_secs;
+    assert!(baseline > 0.0);
+    for workers in [4, 8] {
+        let got = campaign(&net, workers, DynamicsConfig::default()).mean_virtual_secs;
+        assert_eq!(got.to_bits(), baseline.to_bits(), "workers = {workers}");
+    }
+}
