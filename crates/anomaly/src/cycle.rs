@@ -109,30 +109,23 @@ fn classify(
 /// address yields one instance.
 pub fn find_cycles(route: &MeasuredRoute) -> Vec<CycleInstance> {
     let addrs = route.addresses();
-    let mut occurrences: std::collections::HashMap<Ipv4Addr, Vec<usize>> =
-        std::collections::HashMap::new();
-    for (i, slot) in addrs.iter().enumerate() {
-        if let Some(a) = slot {
-            occurrences.entry(*a).or_default().push(i);
-        }
-    }
+    // Routes are at most ~40 hops, and cycles are rare (a few percent
+    // of routes): backward scans over the address slice beat building
+    // an occurrence map per route, and the full occurrence list is only
+    // materialized on the rare hit path.
     let mut out = Vec::new();
     for (i, slot) in addrs.iter().enumerate() {
         let Some(a) = *slot else { continue };
-        let occ = &occurrences[&a];
-        let Some(pos) = occ.iter().position(|&p| p == i) else { continue };
-        if pos == 0 {
-            continue;
-        }
-        let prev = occ[pos - 1];
+        let Some(prev) = (0..i).rev().find(|&j| addrs[j] == Some(a)) else { continue };
         // Cyclic only if some *distinct address* sits strictly between.
         let separated = addrs[prev + 1..i].iter().any(|x| matches!(x, Some(b) if *b != a));
         if separated {
+            let occ: Vec<usize> = (0..addrs.len()).filter(|&j| addrs[j] == Some(a)).collect();
             out.push(CycleInstance {
                 first: prev,
                 second: i,
                 addr: a,
-                cause: classify(route, &addrs, occ, prev, i),
+                cause: classify(route, &addrs, &occ, prev, i),
             });
         }
     }

@@ -7,6 +7,8 @@
 //! aggregates triples across routes into a [`DestinationGraph`].
 
 use std::collections::{BTreeSet, HashMap};
+
+use pt_netsim::routing::AddrHashBuilder;
 use std::net::Ipv4Addr;
 
 use pt_core::MeasuredRoute;
@@ -39,7 +41,7 @@ impl Diamond {
 /// multiple probes of a single classic traceroute.
 #[derive(Debug, Clone, Default)]
 pub struct DestinationGraph {
-    triples: HashMap<(Ipv4Addr, Ipv4Addr), BTreeSet<Ipv4Addr>>,
+    triples: HashMap<(Ipv4Addr, Ipv4Addr), BTreeSet<Ipv4Addr>, AddrHashBuilder>,
     routes_ingested: usize,
 }
 
@@ -56,11 +58,14 @@ impl DestinationGraph {
     /// over-inference that makes classic traceroute's diamonds.
     pub fn ingest(&mut self, route: &MeasuredRoute) {
         self.routes_ingested += 1;
-        let per_hop: Vec<Vec<Ipv4Addr>> = route.hops.iter().map(|h| h.addrs()).collect();
-        for w in per_hop.windows(3) {
-            for &h in &w[0] {
-                for &r in &w[1] {
-                    for &t in &w[2] {
+        // Iterate the probes in place: materializing per-hop address
+        // vectors allocated ~10 Vecs per ingested route, squarely in
+        // the campaign's per-unit hot loop. Within-hop duplicates are
+        // harmless (the triple sets dedup).
+        for w in route.hops.windows(3) {
+            for h in w[0].probes.iter().filter_map(|p| p.addr) {
+                for r in w[1].probes.iter().filter_map(|p| p.addr) {
+                    for t in w[2].probes.iter().filter_map(|p| p.addr) {
                         self.triples.entry((h, t)).or_default().insert(r);
                     }
                 }

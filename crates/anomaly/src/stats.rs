@@ -6,10 +6,19 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use std::net::Ipv4Addr;
 
 use pt_core::{MeasuredRoute, StrategyId};
+use pt_netsim::routing::AddrHashBuilder;
 
 use crate::cycle::{find_cycles, CycleCause};
 use crate::diamond::DestinationGraph;
 use crate::r#loop::{find_loops, LoopCause};
+
+/// Accumulator maps run once per ingested route — the campaign hot
+/// loop — so they use the deterministic multiply-mix hasher instead of
+/// SipHash. Nothing downstream depends on iteration order (the digest
+/// pipeline is order-insensitive, which `tests/determinism.rs` pins
+/// across differing hash states).
+type FastMap<K, V> = HashMap<K, V, AddrHashBuilder>;
+type FastSet<T> = HashSet<T, AddrHashBuilder>;
 
 /// A loop or cycle signature: `(looping address, destination)` — §4's
 /// definition. Diamonds use `(destination, head, tail)` internally.
@@ -52,17 +61,17 @@ pub struct CampaignAccumulator {
     routes_total: u64,
     routes_with_loop: u64,
     routes_with_cycle: u64,
-    dests: HashSet<Ipv4Addr>,
-    dests_with_loop: HashSet<Ipv4Addr>,
-    dests_with_cycle: HashSet<Ipv4Addr>,
-    addrs_seen: HashSet<Ipv4Addr>,
-    addrs_in_loop: HashSet<Ipv4Addr>,
-    addrs_in_cycle: HashSet<Ipv4Addr>,
-    loop_sig_rounds: HashMap<Signature, BTreeSet<usize>>,
-    cycle_sig_rounds: HashMap<Signature, BTreeSet<usize>>,
-    loop_instances: HashMap<(Signature, LoopCause), u64>,
-    cycle_instances: HashMap<(Signature, CycleCause), u64>,
-    graphs: HashMap<Ipv4Addr, DestinationGraph>,
+    dests: FastSet<Ipv4Addr>,
+    dests_with_loop: FastSet<Ipv4Addr>,
+    dests_with_cycle: FastSet<Ipv4Addr>,
+    addrs_seen: FastSet<Ipv4Addr>,
+    addrs_in_loop: FastSet<Ipv4Addr>,
+    addrs_in_cycle: FastSet<Ipv4Addr>,
+    loop_sig_rounds: FastMap<Signature, BTreeSet<usize>>,
+    cycle_sig_rounds: FastMap<Signature, BTreeSet<usize>>,
+    loop_instances: FastMap<(Signature, LoopCause), u64>,
+    cycle_instances: FastMap<(Signature, CycleCause), u64>,
+    graphs: FastMap<Ipv4Addr, DestinationGraph>,
     probes_sent: u64,
     responses: u64,
     stars: u64,
@@ -79,17 +88,17 @@ impl CampaignAccumulator {
             routes_total: 0,
             routes_with_loop: 0,
             routes_with_cycle: 0,
-            dests: HashSet::new(),
-            dests_with_loop: HashSet::new(),
-            dests_with_cycle: HashSet::new(),
-            addrs_seen: HashSet::new(),
-            addrs_in_loop: HashSet::new(),
-            addrs_in_cycle: HashSet::new(),
-            loop_sig_rounds: HashMap::new(),
-            cycle_sig_rounds: HashMap::new(),
-            loop_instances: HashMap::new(),
-            cycle_instances: HashMap::new(),
-            graphs: HashMap::new(),
+            dests: FastSet::default(),
+            dests_with_loop: FastSet::default(),
+            dests_with_cycle: FastSet::default(),
+            addrs_seen: FastSet::default(),
+            addrs_in_loop: FastSet::default(),
+            addrs_in_cycle: FastSet::default(),
+            loop_sig_rounds: FastMap::default(),
+            cycle_sig_rounds: FastMap::default(),
+            loop_instances: FastMap::default(),
+            cycle_instances: FastMap::default(),
+            graphs: FastMap::default(),
             probes_sent: 0,
             responses: 0,
             stars: 0,
@@ -105,7 +114,9 @@ impl CampaignAccumulator {
         let d = route.destination;
         self.dests.insert(d);
         for hop in &route.hops {
-            for a in hop.addrs() {
+            // Straight off the probes: `Hop::addrs` would allocate a
+            // Vec per hop, and the set dedups anyway.
+            for a in hop.probes.iter().filter_map(|p| p.addr) {
                 self.addrs_seen.insert(a);
             }
         }

@@ -12,10 +12,15 @@
 //! * always: the pool machinery (deques, per-unit resets, arena churn)
 //!   may cost at most ~25% of serial throughput on a single core;
 //! * with ≥ 4 hardware threads: 8 workers must deliver ≥ 2× the serial
-//!   trace throughput.
+//!   trace throughput;
+//! * always: serial throughput must be ≥ 1.15× the committed PR-2
+//!   baseline (`BENCH_pr2.json`) — the PR-3 acceptance gate for the
+//!   timing-wheel scheduler, dense delivery lanes and pooled probe
+//!   payloads.
 //!
-//! A real timing run writes the measured numbers to `BENCH_pr2.json`
-//! at the workspace root.
+//! A real timing run writes the measured numbers to `BENCH_pr3.json`
+//! at the workspace root (`BENCH_pr2.json` stays frozen as the
+//! committed baseline the floor compares against).
 
 use std::time::Instant;
 
@@ -43,6 +48,19 @@ fn best_run_secs(net: &SyntheticInternet, workers: usize, runs: usize) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
+/// The serial traces/s recorded by the PR-2 run of this bench, read
+/// from the committed baseline file so the floor tracks what is
+/// actually in the tree.
+fn pr2_serial_baseline() -> f64 {
+    let json = include_str!("../../../BENCH_pr2.json");
+    let field = "\"serial_traces_per_sec\":";
+    let tail =
+        &json[json.find(field).expect("BENCH_pr2.json missing serial field") + field.len()..];
+    let number: String =
+        tail.chars().skip_while(|c| c.is_whitespace()).take_while(|c| c.is_ascii_digit()).collect();
+    number.parse().expect("unparsable PR-2 serial baseline")
+}
+
 fn experiment() -> (f64, f64) {
     header("E10 / perf", "campaign throughput: work-stealing pool vs serial runner");
     let net =
@@ -56,11 +74,14 @@ fn experiment() -> (f64, f64) {
     let serial_tps = traces / serial_secs;
     let pooled_tps = traces / pooled_secs;
     let speedup = pooled_tps / serial_tps;
+    let baseline = pr2_serial_baseline();
+    let vs_pr2 = serial_tps / baseline;
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
     println!("  {traces:.0} traces per campaign ({DESTS} dests x {ROUNDS} rounds x 2 tools)");
     println!("  serial (1 worker):   {serial_secs:>8.4} s  = {serial_tps:>9.0} traces/s");
     println!("  pool   (8 workers):  {pooled_secs:>8.4} s  = {pooled_tps:>9.0} traces/s");
     println!("  speedup: {speedup:.2}x on {cores} hardware thread(s)");
+    println!("  vs PR-2 serial baseline ({baseline:.0} traces/s): {vs_pr2:.2}x");
     if !smoke {
         // Throughput floors — wall-clock gates, skipped in smoke mode.
         assert!(speedup >= 0.75, "pool machinery costs too much even single-core: {speedup:.2}x");
@@ -73,6 +94,11 @@ fn experiment() -> (f64, f64) {
         } else {
             println!("  ({cores} hardware thread(s): >= 2x parallel floor not applicable)");
         }
+        assert!(
+            vs_pr2 >= 1.15,
+            "PR-3 acceptance: serial runner must be >= 1.15x the committed PR-2 \
+             baseline ({baseline:.0} traces/s), got {vs_pr2:.2}x ({serial_tps:.0} traces/s)"
+        );
     }
     (serial_tps, pooled_tps)
 }
@@ -80,13 +106,14 @@ fn experiment() -> (f64, f64) {
 fn write_baseline(serial_tps: f64, pooled_tps: f64) {
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
     let json = format!(
-        "{{\n  \"bench\": \"campaign_pool\",\n  \"campaign\": {{\"destinations\": {DESTS}, \"rounds\": {ROUNDS}, \"tools\": 2}},\n  \"hardware_threads\": {cores},\n  \"serial_traces_per_sec\": {serial_tps:.0},\n  \"pool8_traces_per_sec\": {pooled_tps:.0},\n  \"speedup\": {:.2}\n}}\n",
+        "{{\n  \"bench\": \"campaign_pool\",\n  \"campaign\": {{\"destinations\": {DESTS}, \"rounds\": {ROUNDS}, \"tools\": 2}},\n  \"hardware_threads\": {cores},\n  \"serial_traces_per_sec\": {serial_tps:.0},\n  \"pool8_traces_per_sec\": {pooled_tps:.0},\n  \"speedup\": {:.2},\n  \"serial_vs_pr2_baseline\": {:.2}\n}}\n",
         pooled_tps / serial_tps,
+        serial_tps / pr2_serial_baseline(),
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr2.json");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr3.json");
     match std::fs::write(path, &json) {
-        Ok(()) => println!("  baseline written to BENCH_pr2.json"),
-        Err(e) => println!("  (could not write BENCH_pr2.json: {e})"),
+        Ok(()) => println!("  baseline written to BENCH_pr3.json"),
+        Err(e) => println!("  (could not write BENCH_pr3.json: {e})"),
     }
 }
 

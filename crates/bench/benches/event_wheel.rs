@@ -1,0 +1,147 @@
+//! E11 — event-scheduler throughput: the hierarchical timing wheel vs
+//! the `BinaryHeap` it replaced, on the simulator's bimodal delay mix.
+//!
+//! The synthetic workload mirrors a busy forwarding plane: a bounded
+//! set of in-flight events (pop one, schedule its successor), delays
+//! drawn 90% from the µs-to-ms link-hop band, a sprinkle of far-future
+//! (overflow-level) dynamics, and a payload the size of the simulator's
+//! `EventKind`. The heap pays two O(log n) sifts of that fat struct per
+//! event; the wheel moves 4-byte slab indices. The wall-clock floor
+//! (wheel ≥ heap) arms only in real timing runs, never under
+//! `cargo bench -- --test` (the CI smoke pass).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pt_bench::header;
+use pt_netsim::time::SimTime;
+use pt_netsim::wheel::EventWheel;
+
+/// Payload sized like the simulator's `EventKind` (discriminant, node
+/// id, interface, packet ref, route-set spares).
+#[derive(Debug, Clone, Copy)]
+struct FatPayload {
+    _a: u64,
+    _b: u64,
+    _c: u64,
+    _d: u64,
+    _e: u64,
+}
+
+const PAYLOAD: FatPayload = FatPayload { _a: 1, _b: 2, _c: 3, _d: 4, _e: 5 };
+
+/// The old scheduler's element, verbatim: key plus fat payload, ordered
+/// reversed so `BinaryHeap`'s max-heap pops earliest first.
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    _kind: FatPayload,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Deterministic delay stream: 90% link hops (1 µs – 4 ms), 8% slow
+/// paths (4 – 64 ms), 2% far-future dynamics (0.5 – 2.5 s).
+fn delay(mut x: u64) -> u64 {
+    x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 29;
+    match x % 100 {
+        0..=89 => 1_000 + x % 4_000_000,
+        90..=97 => 4_000_000 + x % 60_000_000,
+        _ => 500_000_000 + x % 2_000_000_000,
+    }
+}
+
+const IN_FLIGHT: usize = 24;
+const STEPS: u64 = 1_500_000;
+
+fn run_heap(steps: u64) -> u64 {
+    let mut heap = BinaryHeap::new();
+    let mut seq = 0u64;
+    for _ in 0..IN_FLIGHT {
+        heap.push(Scheduled { time: SimTime(delay(seq)), seq, _kind: PAYLOAD });
+        seq += 1;
+    }
+    let mut clock = 0u64;
+    for _ in 0..steps {
+        let ev = heap.pop().unwrap();
+        clock = ev.time.nanos();
+        heap.push(Scheduled { time: SimTime(clock + delay(seq)), seq, _kind: PAYLOAD });
+        seq += 1;
+    }
+    black_box(clock)
+}
+
+fn run_wheel(steps: u64) -> u64 {
+    let mut wheel = EventWheel::new();
+    let mut seq = 0u64;
+    for _ in 0..IN_FLIGHT {
+        wheel.schedule(SimTime(delay(seq)), seq, PAYLOAD);
+        seq += 1;
+    }
+    let mut clock = 0u64;
+    for _ in 0..steps {
+        let (time, _, _) = wheel.pop().unwrap();
+        clock = time.nanos();
+        wheel.schedule(SimTime(clock + delay(seq)), seq, PAYLOAD);
+        seq += 1;
+    }
+    black_box(clock)
+}
+
+fn best_events_per_sec(runs: usize, f: impl Fn(u64) -> u64) -> f64 {
+    (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f(STEPS));
+            STEPS as f64 / start.elapsed().as_secs_f64()
+        })
+        .fold(0.0, f64::max)
+}
+
+fn experiment() -> (f64, f64) {
+    header("E11 / perf", "event scheduler: timing wheel vs binary heap");
+    let smoke = std::env::args().any(|a| a == "--test");
+    let runs = if smoke { 1 } else { 3 };
+    let heap_eps = best_events_per_sec(runs, run_heap);
+    let wheel_eps = best_events_per_sec(runs, run_wheel);
+    let speedup = wheel_eps / heap_eps;
+    println!("  {STEPS} hold-{IN_FLIGHT} pop+schedule steps, bimodal delays");
+    println!("  binary heap:  {heap_eps:>12.0} events/s");
+    println!("  timing wheel: {wheel_eps:>12.0} events/s");
+    println!("  speedup:      {speedup:>12.2}x");
+    if !smoke {
+        assert!(speedup >= 1.0, "the wheel must not lose to the heap it replaced: {speedup:.2}x");
+    }
+    (heap_eps, wheel_eps)
+}
+
+fn bench(c: &mut Criterion) {
+    let _ = experiment();
+    c.bench_function("event_wheel/heap_1500k_steps", |b| b.iter(|| run_heap(STEPS)));
+    c.bench_function("event_wheel/wheel_1500k_steps", |b| b.iter(|| run_wheel(STEPS)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

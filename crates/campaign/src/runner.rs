@@ -18,7 +18,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use pt_anomaly::{compare, CampaignAccumulator, ComparisonReport, ToolReport};
-use pt_core::{trace, ClassicUdp, MeasuredRoute, ParisUdp, StrategyId, TraceConfig};
+use pt_core::{
+    trace_with, ClassicUdp, MeasuredRoute, ParisUdp, StrategyId, TraceConfig, TraceScratch,
+};
 use pt_netsim::routing::NextHop;
 use pt_netsim::time::SimDuration;
 use pt_netsim::{SimTransport, SimulatorPool};
@@ -257,6 +259,10 @@ fn run_worker(
     // back the same warm simulator (arena slots, payload buffers and
     // event-queue capacity intact) reset for the next destination.
     let mut pool = SimulatorPool::new(net.topology.clone());
+    // One trace scratch per worker: hop records and the probe registry
+    // recycle across every unit, so a worker's steady-state trace loop
+    // performs no heap allocation at all.
+    let mut scratch = TraceScratch::new();
     let mut out = WorkerOutput {
         classic: CampaignAccumulator::new(StrategyId::ClassicUdp),
         paris: CampaignAccumulator::new(StrategyId::ParisUdp),
@@ -264,7 +270,7 @@ fn run_worker(
         virtual_secs: Vec::new(),
     };
     while let Some(unit) = next_unit(worker_idx, &local, stealers) {
-        run_unit(unit, net, config, &mut pool, &mut out);
+        run_unit(unit, net, config, &mut pool, &mut scratch, &mut out);
     }
     out
 }
@@ -277,6 +283,7 @@ fn run_unit(
     net: &SyntheticInternet,
     config: &CampaignConfig,
     pool: &mut SimulatorPool,
+    scratch: &mut TraceScratch,
     out: &mut WorkerOutput,
 ) {
     let n_dests = net.dests.len();
@@ -301,10 +308,12 @@ fn run_unit(
     let sp = rng.gen_range(10_000..=60_000);
     let dp = rng.gen_range(10_000..=60_000);
     let mut paris = ParisUdp::new(sp, dp);
-    let route = trace(&mut tx, &mut paris, dest.addr, config.trace);
+    let route = trace_with(&mut tx, &mut paris, dest.addr, config.trace, scratch);
     out.paris.ingest(round, &route);
     if config.keep_routes {
         out.routes.push((unit, StrategyId::ParisUdp, round, route));
+    } else {
+        scratch.recycle(route);
     }
 
     schedule_dynamics(&mut rng, &mut tx, dest, &net.topology, config);
@@ -315,10 +324,12 @@ fn run_unit(
     // across rounds.
     let pid = rng.gen::<u16>() & 0x7fff;
     let mut classic = ClassicUdp::new(pid);
-    let route = trace(&mut tx, &mut classic, dest.addr, config.trace);
+    let route = trace_with(&mut tx, &mut classic, dest.addr, config.trace, scratch);
     out.classic.ingest(round, &route);
     if config.keep_routes {
         out.routes.push((unit, StrategyId::ClassicUdp, round, route));
+    } else {
+        scratch.recycle(route);
     }
 
     out.virtual_secs.push((unit, tx.now().as_secs_f64()));

@@ -42,10 +42,18 @@ impl ProbeStrategy for ClassicUdp {
         StrategyId::ClassicUdp
     }
 
-    fn build_probe(&mut self, src: Ipv4Addr, dst: Ipv4Addr, ttl: u8, probe_idx: u64) -> Packet {
+    fn build_probe_with(
+        &mut self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        ttl: u8,
+        probe_idx: u64,
+        mut payload: Vec<u8>,
+    ) -> Packet {
         let ip = Ipv4Header::new(src, dst, protocol::UDP, ttl);
-        let udp =
-            UdpDatagram::new(self.src_port(), self.dst_port(probe_idx), vec![0; self.payload_len]);
+        payload.clear();
+        payload.resize(self.payload_len, 0);
+        let udp = UdpDatagram::new(self.src_port(), self.dst_port(probe_idx), payload);
         Packet::new(ip, Wire::Udp(udp))
     }
 
@@ -84,9 +92,16 @@ impl ProbeStrategy for ClassicIcmp {
         StrategyId::ClassicIcmp
     }
 
-    fn build_probe(&mut self, src: Ipv4Addr, dst: Ipv4Addr, ttl: u8, probe_idx: u64) -> Packet {
+    fn build_probe_with(
+        &mut self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        ttl: u8,
+        probe_idx: u64,
+        payload: Vec<u8>,
+    ) -> Packet {
         let ip = Ipv4Header::new(src, dst, protocol::ICMP, ttl);
-        let msg = IcmpMessage::echo_probe_classic(self.pid, probe_idx as u16);
+        let msg = IcmpMessage::echo_probe_classic_in(self.pid, probe_idx as u16, payload);
         Packet::new(ip, Wire::Icmp(msg))
     }
 

@@ -37,4 +37,4 @@ pub use probe::{ProbeStrategy, StrategyId};
 pub use render::{render, RenderOptions};
 pub use route::{HaltReason, Hop, MeasuredRoute, ProbeResult, ResponseKind};
 pub use tcptrace::TcpTraceroute;
-pub use tracer::{trace, TraceConfig, Transport};
+pub use tracer::{trace, trace_with, TraceConfig, TraceScratch, Transport};

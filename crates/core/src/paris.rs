@@ -55,16 +55,24 @@ impl ProbeStrategy for ParisUdp {
         StrategyId::ParisUdp
     }
 
-    fn build_probe(&mut self, src: Ipv4Addr, dst: Ipv4Addr, ttl: u8, probe_idx: u64) -> Packet {
+    fn build_probe_with(
+        &mut self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        ttl: u8,
+        probe_idx: u64,
+        payload: Vec<u8>,
+    ) -> Packet {
         let mut ip = Ipv4Header::new(src, dst, protocol::UDP, ttl);
         ip.total_length =
             (pt_wire::ipv4::HEADER_LEN + pt_wire::udp::HEADER_LEN + self.payload_len.max(2)) as u16;
-        let udp = UdpDatagram::with_pinned_checksum(
+        let udp = UdpDatagram::with_pinned_checksum_in(
             self.src_port,
             self.dst_port,
             self.tag(probe_idx),
             self.payload_len,
             &ip,
+            payload,
         );
         Packet::new(ip, Wire::Udp(udp))
     }
@@ -107,9 +115,16 @@ impl ProbeStrategy for ParisIcmp {
         StrategyId::ParisIcmp
     }
 
-    fn build_probe(&mut self, src: Ipv4Addr, dst: Ipv4Addr, ttl: u8, probe_idx: u64) -> Packet {
+    fn build_probe_with(
+        &mut self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        ttl: u8,
+        probe_idx: u64,
+        payload: Vec<u8>,
+    ) -> Packet {
         let ip = Ipv4Header::new(src, dst, protocol::ICMP, ttl);
-        let msg = IcmpMessage::echo_probe_paris(self.tag_sum, probe_idx as u16);
+        let msg = IcmpMessage::echo_probe_paris_in(self.tag_sum, probe_idx as u16, payload);
         Packet::new(ip, Wire::Icmp(msg))
     }
 
@@ -159,13 +174,24 @@ impl ProbeStrategy for ParisTcp {
         StrategyId::ParisTcp
     }
 
-    fn build_probe(&mut self, src: Ipv4Addr, dst: Ipv4Addr, ttl: u8, probe_idx: u64) -> Packet {
+    fn build_probe_with(
+        &mut self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        ttl: u8,
+        probe_idx: u64,
+        mut payload: Vec<u8>,
+    ) -> Packet {
         let ip = Ipv4Header::new(src, dst, protocol::TCP, ttl);
-        let seg = TcpSegment::syn_probe(
+        let mut seg = TcpSegment::syn_probe(
             self.src_port,
             self.dst_port,
             self.base_seq.wrapping_add(probe_idx as u32),
         );
+        // SYN probes carry no data; the buffer rides along (cleared) so
+        // its allocation rejoins the pool when the probe is consumed.
+        payload.clear();
+        seg.payload = payload;
         Packet::new(ip, Wire::Tcp(seg))
     }
 

@@ -62,8 +62,27 @@ pub trait ProbeStrategy {
     /// Which tool this is.
     fn id(&self) -> StrategyId;
 
-    /// Build the probe for `probe_idx` with the given TTL.
-    fn build_probe(&mut self, src: Ipv4Addr, dst: Ipv4Addr, ttl: u8, probe_idx: u64) -> Packet;
+    /// Build the probe for `probe_idx` with the given TTL, threading
+    /// `payload` — a cleared, possibly warm buffer (the tracer hands in
+    /// `Transport::grab_payload`) — into the packet. Strategies that
+    /// need payload bytes build them in place; strategies that send
+    /// empty payloads still carry the buffer so its allocation returns
+    /// to the transport's pool when the packet is consumed. This is
+    /// what makes steady-state probe construction allocation-free.
+    fn build_probe_with(
+        &mut self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        ttl: u8,
+        probe_idx: u64,
+        payload: Vec<u8>,
+    ) -> Packet;
+
+    /// [`ProbeStrategy::build_probe_with`] with a fresh buffer — the
+    /// convenience form for tests and one-off probes.
+    fn build_probe(&mut self, src: Ipv4Addr, dst: Ipv4Addr, ttl: u8, probe_idx: u64) -> Packet {
+        self.build_probe_with(src, dst, ttl, probe_idx, Vec::new())
+    }
 
     /// If `response` answers one of our probes, return that probe's index.
     fn match_response(&self, dst: Ipv4Addr, response: &Packet) -> Option<u64>;

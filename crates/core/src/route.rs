@@ -100,6 +100,10 @@ impl Hop {
     }
 
     /// All distinct responding addresses at this hop.
+    ///
+    /// Allocates a `Vec` per call — diagnostics and tests only. Hot
+    /// loops (the campaign accumulators, diamond ingest) iterate
+    /// `probes` in place instead; don't reintroduce this there.
     pub fn addrs(&self) -> Vec<Ipv4Addr> {
         let mut out: Vec<Ipv4Addr> = Vec::new();
         for p in &self.probes {

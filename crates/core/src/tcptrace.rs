@@ -38,10 +38,20 @@ impl ProbeStrategy for TcpTraceroute {
         StrategyId::TcpTraceroute
     }
 
-    fn build_probe(&mut self, src: Ipv4Addr, dst: Ipv4Addr, ttl: u8, probe_idx: u64) -> Packet {
+    fn build_probe_with(
+        &mut self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        ttl: u8,
+        probe_idx: u64,
+        mut payload: Vec<u8>,
+    ) -> Packet {
         let mut ip = Ipv4Header::new(src, dst, protocol::TCP, ttl);
         ip.identification = self.base_ident.wrapping_add(probe_idx as u16);
-        let seg = TcpSegment::syn_probe(self.src_port, self.dst_port, self.seq);
+        let mut seg = TcpSegment::syn_probe(self.src_port, self.dst_port, self.seq);
+        // As with Paris TCP: no data, but keep the buffer circulating.
+        payload.clear();
+        seg.payload = payload;
         Packet::new(ip, Wire::Tcp(seg))
     }
 

@@ -5,8 +5,15 @@
 //! wait per probe, immediate halt on any Destination Unreachable or
 //! terminal reply, a ceiling of 39 hops, and abandonment after eight
 //! consecutive unanswered hops.
+//!
+//! The driver is allocation-free in steady state: probe payloads come
+//! from the transport's recycling pool ([`Transport::grab_payload`]),
+//! and the per-trace bookkeeping (hop records, the outstanding-probe
+//! registry) lives in a caller-held [`TraceScratch`] that
+//! [`trace_with`] reuses and [`TraceScratch::recycle`] refills from
+//! finished routes. [`trace`] remains the convenience form that
+//! allocates fresh scratch per call.
 
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use pt_netsim::time::{SimDuration, SimTime};
@@ -37,6 +44,14 @@ pub trait Transport {
     fn release(&mut self, packet: Packet) {
         let _ = packet;
     }
+    /// A cleared payload buffer for the next probe — the other half of
+    /// the [`Transport::release`] recycling loop. Probe builders thread
+    /// it into the packet, the network consumes the packet, and the
+    /// buffer's allocation eventually comes back here. Transports
+    /// without a pool hand out fresh (empty, unallocated) buffers.
+    fn grab_payload(&mut self) -> Vec<u8> {
+        Vec::new()
+    }
 }
 
 impl Transport for SimTransport {
@@ -60,6 +75,10 @@ impl Transport for SimTransport {
         // Responses go back into the simulator's payload-buffer pool, so
         // a long trace loop reuses the same few buffers end to end.
         self.simulator_mut().recycle(packet);
+    }
+
+    fn grab_payload(&mut self) -> Vec<u8> {
+        self.simulator_mut().grab_payload()
     }
 }
 
@@ -125,29 +144,102 @@ struct Outstanding {
     sent: SimTime,
 }
 
-/// Run one traceroute toward `destination` with the given strategy.
+/// Per-hop probe vectors the scratch retains; a trace never exceeds the
+/// 39-hop ceiling, so this bounds nothing in practice — it only guards
+/// against a caller recycling routes it never traces.
+const SCRATCH_HOP_POOL_CAP: usize = 64;
+
+/// Reusable per-trace bookkeeping: the outstanding-probe registry plus
+/// pools of hop/probe vectors harvested from finished routes. A worker
+/// that keeps one `TraceScratch` across its traces — recycling each
+/// consumed [`MeasuredRoute`] back into it — runs [`trace_with`] with
+/// zero steady-state heap allocation (the counting-allocator regression
+/// test pins this end to end).
+#[derive(Debug, Default)]
+pub struct TraceScratch {
+    /// Outstanding probes by index. A linear scan: a trace keeps at
+    /// most `hops × probes_per_hop` entries, and the common case is a
+    /// handful of unanswered stragglers.
+    registry: Vec<(u64, Outstanding)>,
+    /// Recycled `Hop::probes` vectors.
+    probe_vecs: Vec<Vec<ProbeResult>>,
+    /// Recycled `MeasuredRoute::hops` vectors.
+    hop_vecs: Vec<Vec<Hop>>,
+}
+
+impl TraceScratch {
+    /// Empty scratch; warms up over the first trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Harvest a finished route's vectors for reuse by later traces.
+    /// Call this instead of dropping routes you have finished reading.
+    pub fn recycle(&mut self, route: MeasuredRoute) {
+        let mut hops = route.hops;
+        for hop in hops.drain(..) {
+            if self.probe_vecs.len() < SCRATCH_HOP_POOL_CAP {
+                self.probe_vecs.push(hop.probes);
+            }
+        }
+        if self.hop_vecs.len() < 4 {
+            self.hop_vecs.push(hops);
+        }
+    }
+
+    fn take_hops(&mut self) -> Vec<Hop> {
+        let mut hops = self.hop_vecs.pop().unwrap_or_default();
+        hops.clear();
+        hops
+    }
+
+    fn take_probes(&mut self, n: usize) -> Vec<ProbeResult> {
+        let mut probes = self.probe_vecs.pop().unwrap_or_default();
+        probes.clear();
+        probes.resize(n, ProbeResult::STAR);
+        probes
+    }
+}
+
+/// Run one traceroute toward `destination` with the given strategy,
+/// allocating fresh bookkeeping. Prefer [`trace_with`] in loops.
 pub fn trace<T: Transport>(
     transport: &mut T,
     strategy: &mut dyn ProbeStrategy,
     destination: Ipv4Addr,
     config: TraceConfig,
 ) -> MeasuredRoute {
+    trace_with(transport, strategy, destination, config, &mut TraceScratch::new())
+}
+
+/// Run one traceroute toward `destination`, reusing `scratch` for all
+/// per-trace bookkeeping. With a warm scratch and a pooling transport,
+/// the whole probe→response cycle performs no heap allocation.
+pub fn trace_with<T: Transport>(
+    transport: &mut T,
+    strategy: &mut dyn ProbeStrategy,
+    destination: Ipv4Addr,
+    config: TraceConfig,
+    scratch: &mut TraceScratch,
+) -> MeasuredRoute {
     let source = transport.source_addr();
-    let mut hops: Vec<Hop> = Vec::new();
-    let mut registry: HashMap<u64, Outstanding> = HashMap::new();
+    let mut hops: Vec<Hop> = scratch.take_hops();
+    scratch.registry.clear();
     let mut probe_idx: u64 = 0;
     let mut consecutive_stars: u8 = 0;
     let mut halt = HaltReason::MaxTtl;
 
     'ttl_loop: for ttl in config.min_ttl..=config.max_ttl {
         let hop_index = hops.len();
-        hops.push(Hop { ttl, probes: vec![ProbeResult::STAR; usize::from(config.probes_per_hop)] });
+        let probes = scratch.take_probes(usize::from(config.probes_per_hop));
+        hops.push(Hop { ttl, probes });
         for slot in 0..usize::from(config.probes_per_hop) {
             let idx = probe_idx;
             probe_idx += 1;
-            let packet = strategy.build_probe(source, destination, ttl, idx);
+            let payload = transport.grab_payload();
+            let packet = strategy.build_probe_with(source, destination, ttl, idx, payload);
             let sent = transport.now();
-            registry.insert(idx, Outstanding { hop: hop_index, slot, sent });
+            scratch.registry.push((idx, Outstanding { hop: hop_index, slot, sent }));
             transport.send(packet);
             let deadline = sent + config.timeout;
             let mut saw_terminal = false;
@@ -157,10 +249,11 @@ pub fn trace<T: Transport>(
                     continue; // stray packet; keep waiting
                 };
                 let matched = if matched == CURRENT_PROBE { idx } else { matched };
-                let Some(slot_info) = registry.remove(&matched) else {
+                let Some(pos) = scratch.registry.iter().position(|&(id, _)| id == matched) else {
                     transport.release(resp);
                     continue; // duplicate or unknown probe id
                 };
+                let (_, slot_info) = scratch.registry.swap_remove(pos);
                 let (kind, probe_ttl) = classify(&resp);
                 hops[slot_info.hop].probes[slot_info.slot] = ProbeResult {
                     addr: Some(resp.ip.src),

@@ -115,7 +115,8 @@ fn probe_once<T: Transport>(
     // 16-bit checksum, so only its low 16 bits survive the round trip.
     let tag = tag & 0xffff;
     let mut strat = ParisUdp::new(40_000u16.wrapping_add(flow), 52_009);
-    let probe = strat.build_probe(tx.source_addr(), dst, ttl, tag);
+    let payload = tx.grab_payload();
+    let probe = strat.build_probe_with(tx.source_addr(), dst, ttl, tag, payload);
     tx.send(probe);
     let deadline = tx.now() + timeout;
     while let Some((_, resp)) = tx.recv_until(deadline) {

@@ -36,6 +36,7 @@ pub mod sim;
 pub mod time;
 pub mod topology;
 pub mod transport;
+pub mod wheel;
 
 pub use addr::Ipv4Prefix;
 pub use arena::{PacketArena, PacketRef};
@@ -46,3 +47,4 @@ pub use sim::{SimStats, Simulator, SimulatorPool};
 pub use time::{SimDuration, SimTime};
 pub use topology::{LinkId, NodeId, Topology};
 pub use transport::SimTransport;
+pub use wheel::EventWheel;

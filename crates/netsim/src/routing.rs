@@ -3,11 +3,74 @@
 //! copy-on-write overlay simulators layer over a shared base table.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
 use crate::addr::Ipv4Prefix;
 use crate::node::BalancerKind;
+
+/// A multiply-mix hasher for the `Ipv4Addr`-keyed route maps.
+///
+/// Host-route lookups run once per forwarded packet — the single
+/// hottest map access in the simulator — and the default `HashMap`
+/// hasher (SipHash-1-3) costs more than the rest of the lookup
+/// combined for a 4-byte key. This hasher is a Fibonacci
+/// multiply-xor: two multiplies, fully deterministic across runs and
+/// platforms (no `RandomState`), which also keeps run results a pure
+/// function of the seed. HashDoS resistance is irrelevant here: keys
+/// come from the topology generator, not an adversary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AddrHasher(u64);
+
+impl Hasher for AddrHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 32;
+        x = x.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        x ^= x >> 32;
+        x
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.0 = (self.0 ^ u64::from(i)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.0 = (self.0 ^ i).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.write_u32(u32::from(i));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.write_u32(u32::from(i));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// `HashMap` state for [`AddrHasher`]-hashed route maps.
+pub type AddrHashBuilder = BuildHasherDefault<AddrHasher>;
+
+/// An address-keyed map hashed with the deterministic [`AddrHasher`].
+pub type AddrMap<V> = HashMap<Ipv4Addr, V, AddrHashBuilder>;
 
 /// Where a routing table sends a matching packet.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,7 +115,7 @@ impl NextHop {
 pub struct RoutingTable {
     /// Non-host entries, sorted by descending prefix length.
     entries: Vec<(Ipv4Prefix, NextHop)>,
-    host_routes: HashMap<Ipv4Addr, NextHop>,
+    host_routes: AddrMap<NextHop>,
 }
 
 impl RoutingTable {
@@ -153,7 +216,7 @@ struct DeltaChanges {
     /// Non-host delta entries, sorted by descending prefix length.
     entries: Vec<(Ipv4Prefix, Option<NextHop>)>,
     /// Host-route delta entries.
-    hosts: HashMap<Ipv4Addr, Option<NextHop>>,
+    hosts: AddrMap<Option<NextHop>>,
 }
 
 impl RouteDelta {

@@ -4,7 +4,10 @@
 //! Event ordering is strictly `(time, sequence)` and all randomness comes
 //! from per-node `StdRng`s derived from the global seed, so a run is a
 //! pure function of `(topology, seed, injected packets, scheduled route
-//! changes)`.
+//! changes)`. The schedule itself is a hierarchical timing wheel
+//! ([`crate::wheel::EventWheel`]): O(1) amortized schedule/pop with no
+//! per-event allocation, popping in exactly the `(time, sequence)` order
+//! a binary heap would.
 //!
 //! In-flight packets are arena-resident ([`crate::arena::PacketArena`]):
 //! events and the forwarding hot path move 4-byte [`PacketRef`] handles,
@@ -17,8 +20,7 @@
 //! runner afford a pristine simulator per `(destination, round)` work
 //! unit ([`SimulatorPool`]).
 
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -36,6 +38,7 @@ use crate::node::{BalancerKind, HostConfig, NodeKind, RouterConfig};
 use crate::routing::{NextHop, NodeRouting, RouteDelta};
 use crate::time::SimTime;
 use crate::topology::{Node, NodeId, Topology};
+use crate::wheel::EventWheel;
 
 /// Counters describing everything the simulator did.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -78,34 +81,6 @@ enum EventKind {
     /// Install (`Some`) or remove (`None`) a route at `node` — the
     /// routing-dynamics hook.
     RouteSet { node: NodeId, prefix: Ipv4Prefix, next_hop: Option<NextHop> },
-}
-
-#[derive(Debug)]
-struct Scheduled {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-
-impl Eq for Scheduled {}
-
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
 }
 
 #[derive(Debug, Clone)]
@@ -161,11 +136,16 @@ pub struct Simulator {
     topo: Arc<Topology>,
     clock: SimTime,
     next_seq: u64,
-    queue: BinaryHeap<Scheduled>,
+    /// Pending events, popped in exact `(time, seq)` order — a timing
+    /// wheel, so `schedule`/`step` are O(1) amortized with no per-event
+    /// allocation (see [`crate::wheel`]).
+    queue: EventWheel<EventKind>,
     state: Vec<NodeState>,
-    inbox: HashMap<NodeId, VecDeque<(SimTime, Packet)>>,
-    /// Nodes whose inbox went non-empty since the last reset, so reset
-    /// drains O(delivered) inboxes instead of sweeping the whole map.
+    /// Delivery lanes, one per node, indexed by `NodeId` — no hashing
+    /// anywhere on the delivery or drain path.
+    inbox: Vec<VecDeque<(SimTime, Packet)>>,
+    /// Nodes whose lane went non-empty since the last reset, so reset
+    /// drains O(touched) lanes instead of sweeping every node.
     dirty_inboxes: Vec<NodeId>,
     stats: SimStats,
     /// Recycled buffer for quoting offending packets into ICMP, so the
@@ -205,11 +185,11 @@ impl Simulator {
         };
         Simulator {
             state: vec![template; topology.nodes.len()],
+            inbox: (0..topology.nodes.len()).map(|_| VecDeque::new()).collect(),
             topo: topology,
             clock: SimTime::ZERO,
             next_seq: 0,
-            queue: BinaryHeap::new(),
-            inbox: HashMap::new(),
+            queue: EventWheel::new(),
             dirty_inboxes: Vec::new(),
             stats: SimStats::default(),
             scratch: Vec::new(),
@@ -227,19 +207,18 @@ impl Simulator {
     /// *not* O(nodes) — cheap enough to call once per `(destination,
     /// round)` campaign work unit.
     pub fn reset(&mut self, seed: u64) {
-        // drain() hands events back in arbitrary order without the
-        // per-pop sift-down — ordering is irrelevant when everything is
-        // being released — and keeps the heap's capacity.
-        for ev in self.queue.drain() {
-            if let EventKind::Arrival { packet, .. } = ev.kind {
-                self.arena.release(packet);
+        // clear() hands events back in arbitrary order — ordering is
+        // irrelevant when everything is being released — and keeps the
+        // wheel's slab and batch capacities warm.
+        let arena = &mut self.arena;
+        self.queue.clear(|kind| {
+            if let EventKind::Arrival { packet, .. } = kind {
+                arena.release(packet);
             }
-        }
+        });
         for node in self.dirty_inboxes.drain(..) {
-            if let Some(q) = self.inbox.get_mut(&node) {
-                for (_, packet) in q.drain(..) {
-                    self.arena.recycle_packet(packet);
-                }
+            for (_, packet) in self.inbox[node.0].drain(..) {
+                self.arena.recycle_packet(packet);
             }
         }
         debug_assert!(self.arena.is_empty(), "in-flight packet leaked across reset");
@@ -266,6 +245,16 @@ impl Simulator {
         &self.topo
     }
 
+    /// Replace the event queue with one using `2^shift`-ns wheel
+    /// buckets. Bucket width is a pure performance knob — event order
+    /// (and therefore every digest) is identical for any value, which
+    /// `proptest_wheel.rs` pins. Only callable while no events are
+    /// pending (typically right after construction or a reset).
+    pub fn set_wheel_shift(&mut self, shift: u32) {
+        assert!(self.queue.is_empty(), "cannot resize wheel buckets with events pending");
+        self.queue = EventWheel::with_shift(shift);
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.clock
@@ -279,7 +268,7 @@ impl Simulator {
     fn schedule(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Scheduled { time, seq, kind });
+        self.queue.schedule(time, seq, kind);
     }
 
     /// Inject a packet originated by `node` at the current time.
@@ -318,18 +307,20 @@ impl Simulator {
         self.schedule(at, EventKind::RouteSet { node, prefix, next_hop });
     }
 
-    /// The time of the next pending event, if any.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.queue.peek().map(|s| s.time)
+    /// The time of the next pending event, if any. Takes `&mut self`
+    /// because the wheel may advance its cursor to locate the event
+    /// (the answer, and event order, are unaffected).
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.queue.next_key().map(|(time, _)| time)
     }
 
     /// Process a single event, advancing the clock to it. Returns `false`
     /// when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(ev) = self.queue.pop() else { return false };
-        debug_assert!(ev.time >= self.clock, "event from the past");
-        self.clock = ev.time;
-        match ev.kind {
+        let Some((time, _seq, kind)) = self.queue.pop() else { return false };
+        debug_assert!(time >= self.clock, "event from the past");
+        self.clock = time;
+        match kind {
             EventKind::Arrival { node, iface_in, packet } => {
                 self.process_arrival(node, iface_in, packet)
             }
@@ -364,6 +355,11 @@ impl Simulator {
     }
 
     /// Take everything delivered to `node` since the last call.
+    ///
+    /// Allocates a fresh `Vec` per call — convenient in tests, wrong on
+    /// hot paths. Library code should use [`Simulator::take_inbox_into`]
+    /// (recycled buffer) or [`Simulator::pop_delivery`] instead.
+    #[doc(hidden)]
     pub fn take_inbox(&mut self, node: NodeId) -> Vec<(SimTime, Packet)> {
         let mut out = Vec::new();
         self.take_inbox_into(node, &mut out);
@@ -371,23 +367,30 @@ impl Simulator {
     }
 
     /// Drain everything delivered to `node` since the last call into
-    /// `out`, appending. The inbox's deque is drained in place (its
+    /// `out`, appending. The lane's deque is drained in place (its
     /// allocation survives), so round loops that pass a recycled buffer
     /// reallocate nothing.
     pub fn take_inbox_into(&mut self, node: NodeId, out: &mut Vec<(SimTime, Packet)>) {
-        if let Some(q) = self.inbox.get_mut(&node) {
-            out.extend(q.drain(..));
-        }
+        out.extend(self.inbox[node.0].drain(..));
     }
 
     /// Pop the oldest delivery to `node`, if any.
     pub fn pop_delivery(&mut self, node: NodeId) -> Option<(SimTime, Packet)> {
-        self.inbox.get_mut(&node).and_then(VecDeque::pop_front)
+        self.inbox[node.0].pop_front()
     }
 
     /// Number of undelivered packets waiting at `node`.
     pub fn inbox_len(&self, node: NodeId) -> usize {
-        self.inbox.get(&node).map_or(0, VecDeque::len)
+        self.inbox[node.0].len()
+    }
+
+    /// A cleared payload buffer from the arena's recycling pool (fresh
+    /// when the pool is empty). Probe builders grab buffers here — via
+    /// the tracer-side `Transport::grab_payload` hook — so the payloads
+    /// of released responses circulate back into new probes and the
+    /// probe→response cycle stops allocating after warm-up.
+    pub fn grab_payload(&mut self) -> Vec<u8> {
+        self.arena.grab_payload()
     }
 
     /// Read `node`'s live routing state (tests and dynamics helpers):
@@ -417,7 +420,7 @@ impl Simulator {
             NodeKind::Host(_) => {
                 if iface_in.is_none() {
                     // Hosts route only their own packets (via gateway).
-                    self.forward(node, iface_in, packet);
+                    self.forward(&topo, node, iface_in, packet);
                 } else {
                     // A host never forwards transit traffic.
                     self.stats.dropped_no_route += 1;
@@ -441,7 +444,7 @@ impl Simulator {
                     self.respond_unreachable(node, iface_in, cfg, packet, code);
                     return;
                 }
-                self.forward(node, iface_in, packet);
+                self.forward(&topo, node, iface_in, packet);
             }
         }
     }
@@ -460,7 +463,7 @@ impl Simulator {
             st.inbox_dirty = true;
             self.dirty_inboxes.push(node);
         }
-        self.inbox.entry(node).or_default().push_back((self.clock, packet));
+        self.inbox[node.0].push_back((self.clock, packet));
         if let Some(resp) = response {
             self.originate(node, resp);
         }
@@ -725,12 +728,21 @@ impl Simulator {
     /// packet's origin).
     fn originate(&mut self, node: NodeId, packet: Packet) {
         let packet = self.arena.alloc(packet);
-        self.forward(node, None, packet);
+        let topo = Arc::clone(&self.topo);
+        self.forward(&topo, node, None, packet);
     }
 
-    fn forward(&mut self, node: NodeId, iface_in: Option<usize>, packet: PacketRef) {
+    /// `topo` is the caller's pin of `self.topo` (one Arc bump per
+    /// arrival covers the whole event; re-pinning here would put a
+    /// second pair of atomic ops on every forwarded hop).
+    fn forward(
+        &mut self,
+        topo: &Topology,
+        node: NodeId,
+        iface_in: Option<usize>,
+        packet: PacketRef,
+    ) {
         self.freshen(node);
-        let topo = Arc::clone(&self.topo);
         // NAT: rewrite the source of anything leaving the stub.
         if let NodeKind::Router(cfg) = &topo.node(node).kind {
             if let Some(nat) = &cfg.nat {

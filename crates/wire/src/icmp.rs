@@ -164,15 +164,30 @@ impl IcmpMessage {
     /// sequence number. The checksum — hashed by per-flow load balancers —
     /// varies with `seq`.
     pub fn echo_probe_classic(identifier: u16, seq: u16) -> Self {
-        IcmpMessage::EchoRequest { identifier, seq, payload: Vec::new() }
+        Self::echo_probe_classic_in(identifier, seq, Vec::new())
+    }
+
+    /// [`IcmpMessage::echo_probe_classic`] carrying `payload` (cleared):
+    /// lets probe builders thread a recycled buffer through the probe so
+    /// its allocation returns to the pool when the packet is consumed.
+    pub fn echo_probe_classic_in(identifier: u16, seq: u16, mut payload: Vec<u8>) -> Self {
+        payload.clear();
+        IcmpMessage::EchoRequest { identifier, seq, payload }
     }
 
     /// A Paris-traceroute Echo probe: the Identifier is solved so that
     /// `identifier +' seq` is constant (`tag_sum`), which pins the ICMP
     /// checksum — and therefore the flow identifier — across probes.
     pub fn echo_probe_paris(tag_sum: u16, seq: u16) -> Self {
+        Self::echo_probe_paris_in(tag_sum, seq, Vec::new())
+    }
+
+    /// [`IcmpMessage::echo_probe_paris`] carrying a recycled `payload`
+    /// buffer (cleared), as [`IcmpMessage::echo_probe_classic_in`].
+    pub fn echo_probe_paris_in(tag_sum: u16, seq: u16, mut payload: Vec<u8>) -> Self {
         let identifier = ones_sub(tag_sum, seq);
-        IcmpMessage::EchoRequest { identifier, seq, payload: Vec::new() }
+        payload.clear();
+        IcmpMessage::EchoRequest { identifier, seq, payload }
     }
 
     /// Message type.

@@ -53,6 +53,23 @@ impl UdpDatagram {
         payload_len: usize,
         ip: &Ipv4Header,
     ) -> Self {
+        Self::with_pinned_checksum_in(src_port, dst_port, target, payload_len, ip, Vec::new())
+    }
+
+    /// [`UdpDatagram::with_pinned_checksum`], but building the payload
+    /// into `payload` (cleared first) so a recycled buffer's allocation
+    /// is reused — the zero-allocation probe-construction path.
+    ///
+    /// # Panics
+    /// Panics if `target == 0`, as for `with_pinned_checksum`.
+    pub fn with_pinned_checksum_in(
+        src_port: u16,
+        dst_port: u16,
+        target: u16,
+        payload_len: usize,
+        ip: &Ipv4Header,
+        mut payload: Vec<u8>,
+    ) -> Self {
         assert!(target != 0, "UDP checksum 0 means 'absent' and cannot be pinned");
         let payload_len = payload_len.max(2);
         let udp_len = (HEADER_LEN + payload_len) as u16;
@@ -63,7 +80,8 @@ impl UdpDatagram {
         c.add_word(target);
         // Zero padding beyond the first word contributes nothing to the sum.
         let word = solve_payload_word(c.raw(), target);
-        let mut payload = vec![0u8; payload_len];
+        payload.clear();
+        payload.resize(payload_len, 0);
         payload[..2].copy_from_slice(&word.to_be_bytes());
         UdpDatagram { src_port, dst_port, checksum: target, checksum_pinned: true, payload }
     }

@@ -1,0 +1,104 @@
+//! Counting-allocator regression harness: after warm-up, a full
+//! campaign-style work unit — acquire a pooled simulator, run a Paris +
+//! classic trace pair (probe construction included), release — performs
+//! **zero heap allocations**. This pins what the performance notes used
+//! to claim from bench eyeballing:
+//!
+//! * the timing wheel schedules/pops via recycled slab slots,
+//! * in-flight packets live in the `PacketArena`,
+//! * probe payloads circulate through `Transport::grab_payload` /
+//!   `Transport::release`,
+//! * per-trace bookkeeping (hop records, probe registry) recycles
+//!   through `TraceScratch`,
+//! * inbox lanes and the ICMP scratch buffer keep their capacity across
+//!   `Simulator::reset`.
+//!
+//! The file contains exactly one `#[test]`: the counter is a process
+//! global, and a sibling test running on another thread would smear its
+//! allocations into the measured window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use paris_traceroute_repro::core::{trace_with, ClassicUdp, ParisUdp, TraceConfig, TraceScratch};
+use paris_traceroute_repro::netsim::{scenarios, SimTransport, SimulatorPool};
+
+/// `System`, but counting every allocation entry point. Deallocations
+/// are free and uncounted: the property under test is "no allocator
+/// traffic in steady state", and reallocs count as allocations.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_trace_pair_allocates_nothing() {
+    // The same shape as one campaign work unit, over the fig-1 style
+    // scenario (a per-flow load-balanced diamond mid-path), so balanced
+    // egress, ICMP quoting and terminal responses are all on the path.
+    let sc = scenarios::fig1(paris_traceroute_repro::netsim::BalancerKind::PerFlow(
+        paris_traceroute_repro::wire::FlowPolicy::FiveTuple,
+    ));
+    let mut pool = SimulatorPool::new(sc.topology.clone());
+    let mut scratch = TraceScratch::new();
+
+    let unit = |pool: &mut SimulatorPool, scratch: &mut TraceScratch, seed: u64| {
+        let sim = pool.acquire(seed);
+        let mut tx = SimTransport::new(sim, sc.source);
+        let mut paris = ParisUdp::new(41_000 + (seed as u16 & 0xff), 52_000);
+        let route = trace_with(&mut tx, &mut paris, sc.destination, TraceConfig::paper(), scratch);
+        assert!(route.reached_destination(), "scenario must stay healthy (seed {seed})");
+        scratch.recycle(route);
+        let mut classic = ClassicUdp::new(seed as u16 & 0x7fff);
+        let route =
+            trace_with(&mut tx, &mut classic, sc.destination, TraceConfig::paper(), scratch);
+        assert!(route.reached_destination(), "scenario must stay healthy (seed {seed})");
+        scratch.recycle(route);
+        pool.release(tx.into_simulator());
+    };
+
+    // Warm-up: fill the arena, the wheel slab, the payload pool, the
+    // scratch pools and every lane/queue capacity.
+    for seed in 0..5 {
+        unit(&mut pool, &mut scratch, seed);
+    }
+
+    let before = allocations();
+    for seed in 5..25 {
+        unit(&mut pool, &mut scratch, seed);
+    }
+    let during = allocations() - before;
+
+    assert_eq!(
+        during, 0,
+        "steady-state trace pairs must be allocation-free, saw {during} allocations \
+         over 20 work units (probe construction included)"
+    );
+}
