@@ -14,7 +14,11 @@
 //! plus the sans-IO [`trace`] driver that turns a strategy and a
 //! [`Transport`] into a [`MeasuredRoute`]: one probe per hop by default
 //! (as in the paper's study, §3), 2-second timeouts, halting on
-//! Destination Unreachable, at 39 hops, or after eight consecutive stars.
+//! Destination Unreachable, at 39 hops, or after exactly eight
+//! consecutive stars. The driver keeps up to [`TraceConfig::window`]
+//! probes in flight at once (`tracer` module docs) — the virtual-time
+//! analogue of the paper's 32 parallel tracing processes — and
+//! `window = 1` reproduces the strictly sequential discipline exactly.
 //!
 //! The driver also records the three pieces of side information Paris
 //! traceroute adds (§2.2): the **probe TTL** (from the quoted IP header),

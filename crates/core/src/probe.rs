@@ -84,7 +84,14 @@ pub trait ProbeStrategy {
         self.build_probe_with(src, dst, ttl, probe_idx, Vec::new())
     }
 
-    /// If `response` answers one of our probes, return that probe's index.
+    /// If `response` answers one of our probes, return that probe's
+    /// index — the *real* index, recovered from the response itself.
+    /// The driver keeps several probes outstanding at once and
+    /// attributes each response through its registry by this id, so a
+    /// strategy may never answer "whichever probe is current": a
+    /// sentinel would mis-credit every late, reordered or duplicate
+    /// reply the moment two probes are in flight. Responses that cannot
+    /// name their probe are `None` (the driver drops them as strays).
     fn match_response(&self, dst: Ipv4Addr, response: &Packet) -> Option<u64>;
 }
 

@@ -4,6 +4,18 @@
 //! Not innovative in the Paris sense — it already keeps a constant flow
 //! identifier as a side effect of fixing both ports — but the paper notes
 //! nobody had examined that property's effect on load balancing before.
+//!
+//! Mid-path ICMP errors identify the probe by the quoted IP
+//! Identification (the tool's signature move). Terminal SYN-ACK / RST
+//! responses quote neither the IP header nor our Identification, so the
+//! per-probe index also rides in the SYN's Sequence Number: the
+//! destination acknowledges `seq + 1`, and the index comes back out of
+//! the Acknowledgment — a *real* probe id, which is what lets the
+//! windowed tracer attribute a terminal reply correctly with several
+//! probes in flight (the old `CURRENT_PROBE` sentinel credited whatever
+//! probe happened to be current). The Sequence Number sits outside
+//! every flow-hash policy, so the tool's constant-flow property is
+//! untouched.
 
 use std::net::Ipv4Addr;
 
@@ -20,8 +32,9 @@ pub struct TcpTraceroute {
     pub src_port: u16,
     /// Fixed destination port (80 by default).
     pub dst_port: u16,
-    /// Fixed TCP sequence number (tcptraceroute does not vary it).
-    pub seq: u32,
+    /// Base TCP sequence number; probe `idx` sends `base_seq + idx`, so
+    /// the destination's `ack - 1` identifies the probe.
+    pub base_seq: u32,
     /// Base for the IP Identification identifier.
     pub base_ident: u16,
 }
@@ -29,7 +42,11 @@ pub struct TcpTraceroute {
 impl TcpTraceroute {
     /// Defaults emulating the real tool.
     pub fn new(src_port: u16) -> Self {
-        TcpTraceroute { src_port, dst_port: 80, seq: 0xdead_0000, base_ident: 0x4000 }
+        TcpTraceroute { src_port, dst_port: 80, base_seq: 0xdead_0000, base_ident: 0x4000 }
+    }
+
+    fn seq(&self, probe_idx: u64) -> u32 {
+        self.base_seq.wrapping_add(probe_idx as u32)
     }
 }
 
@@ -48,7 +65,7 @@ impl ProbeStrategy for TcpTraceroute {
     ) -> Packet {
         let mut ip = Ipv4Header::new(src, dst, protocol::TCP, ttl);
         ip.identification = self.base_ident.wrapping_add(probe_idx as u16);
-        let mut seg = TcpSegment::syn_probe(self.src_port, self.dst_port, self.seq);
+        let mut seg = TcpSegment::syn_probe(self.src_port, self.dst_port, self.seq(probe_idx));
         // As with Paris TCP: no data, but keep the buffer circulating.
         payload.clear();
         seg.payload = payload;
@@ -57,18 +74,15 @@ impl ProbeStrategy for TcpTraceroute {
 
     fn match_response(&self, dst: Ipv4Addr, response: &Packet) -> Option<u64> {
         // Terminal SYN-ACK / RST from the destination. The IP ID of *our
-        // probe* is gone here; tcptraceroute matches on the port pair and
-        // ack. We cannot recover the probe index, so attribute it to the
-        // ack relation (seq is constant → ack = seq + 1 for every probe);
-        // return a sentinel the driver resolves to "current probe".
+        // probe* is gone here, but the destination acknowledges our
+        // Sequence + 1, and the sequence carries the probe index.
         if let Wire::Tcp(seg) = &response.transport {
             if response.ip.src == dst
                 && seg.src_port == self.dst_port
                 && seg.dst_port == self.src_port
                 && seg.control & (tcp_flags::SYN | tcp_flags::RST) != 0
-                && seg.ack == self.seq.wrapping_add(1)
             {
-                return Some(CURRENT_PROBE);
+                return Some(u64::from(seg.ack.wrapping_sub(1).wrapping_sub(self.base_seq)));
             }
             return None;
         }
@@ -86,11 +100,6 @@ impl ProbeStrategy for TcpTraceroute {
         Some(u64::from(q.ip.identification.wrapping_sub(self.base_ident)))
     }
 }
-
-/// Sentinel index meaning "whatever probe is currently outstanding" —
-/// used when the response genuinely cannot identify the probe (terminal
-/// TCP responses echo no probe-unique field when `seq` is constant).
-pub const CURRENT_PROBE: u64 = u64::MAX;
 
 #[cfg(test)]
 mod tests {
@@ -120,14 +129,27 @@ mod tests {
     }
 
     #[test]
-    fn terminal_response_yields_current_probe_sentinel() {
+    fn terminal_response_recovers_probe_index_from_ack() {
         let (src, dst) = addrs();
-        let s = TcpTraceroute::new(50123);
-        let mut synack = TcpSegment::syn_probe(80, 50123, 0);
-        synack.ack = s.seq.wrapping_add(1);
-        synack.control = tcp_flags::SYN | tcp_flags::ACK;
-        let reply = Packet::new(Ipv4Header::new(dst, src, protocol::TCP, 60), Wire::Tcp(synack));
-        assert_eq!(s.match_response(dst, &reply), Some(CURRENT_PROBE));
+        let mut s = TcpTraceroute::new(50123);
+        for idx in [0u64, 7, 38] {
+            let probe = s.build_probe(src, dst, 30, idx);
+            let seq = match &probe.transport {
+                Wire::Tcp(t) => t.seq,
+                other => panic!("wrong transport {other:?}"),
+            };
+            // The responder acks whatever sequence the probe carried.
+            let mut synack = TcpSegment::syn_probe(80, 50123, 0);
+            synack.ack = seq.wrapping_add(1);
+            synack.control = tcp_flags::SYN | tcp_flags::ACK;
+            let reply =
+                Packet::new(Ipv4Header::new(dst, src, protocol::TCP, 60), Wire::Tcp(synack));
+            assert_eq!(
+                s.match_response(dst, &reply),
+                Some(idx),
+                "terminal reply must name its own probe, not \"the current one\""
+            );
+        }
     }
 
     #[test]

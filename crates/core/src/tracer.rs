@@ -4,15 +4,45 @@
 //! (configurable to classic traceroute's three), up to two seconds'
 //! wait per probe, immediate halt on any Destination Unreachable or
 //! terminal reply, a ceiling of 39 hops, and abandonment after eight
-//! consecutive unanswered hops.
+//! consecutive unanswered hops (exactly eight: the hop that brings the
+//! consecutive-star count to [`TraceConfig::max_consecutive_stars`] is
+//! the last one probed).
+//!
+//! # Windowed probing
+//!
+//! [`trace_with`] keeps up to [`TraceConfig::window`] probes
+//! outstanding at once — the virtual-time analogue of the paper's 32
+//! parallel tracing processes, applied inside one trace. Probes are
+//! *launched* in strict `(TTL, slot)` order but *retired* by the
+//! response/deadline that actually resolves them; every response is
+//! attributed to its probe through the outstanding-probe registry (by
+//! the probe id the strategy recovers from the response), never to
+//! "whatever was sent last", so reordered and late replies land in the
+//! right hop record. Halting decisions — terminal reply, star limit —
+//! are taken only when a hop *finalizes*, and hops finalize in TTL
+//! order; speculative probes past a terminal reply or the star limit
+//! are discarded along with their hop records, so the measured route a
+//! windowed trace reports is the same one a sequential trace measures
+//! (identical on deterministic lossless paths, where `window` only
+//! changes how much virtual time the trace takes: roughly ×`window`
+//! less).
+//!
+//! `window = 1` reproduces the strictly sequential send→wait→timeout
+//! discipline: same probes at the same virtual times, same route —
+//! byte-for-byte at `probes_per_hop = 1` (the study's setting, pinned
+//! by digest comparison against the pre-windowed driver). With more
+//! probes per hop one *deliberate* divergence remains at every window:
+//! the hop a terminal reply lands in now receives its full probe
+//! complement (classic traceroute behavior) instead of abandoning its
+//! remaining slots as phantom stars.
 //!
 //! The driver is allocation-free in steady state: probe payloads come
 //! from the transport's recycling pool ([`Transport::grab_payload`]),
 //! and the per-trace bookkeeping (hop records, the outstanding-probe
-//! registry) lives in a caller-held [`TraceScratch`] that
-//! [`trace_with`] reuses and [`TraceScratch::recycle`] refills from
-//! finished routes. [`trace`] remains the convenience form that
-//! allocates fresh scratch per call.
+//! registry, per-hop progress counters) lives in a caller-held
+//! [`TraceScratch`] that [`trace_with`] reuses and
+//! [`TraceScratch::recycle`] refills from finished routes. [`trace`]
+//! remains the convenience form that allocates fresh scratch per call.
 
 use std::net::Ipv4Addr;
 
@@ -22,7 +52,6 @@ use pt_wire::{IcmpMessage, Packet, Transport as Wire};
 
 use crate::probe::ProbeStrategy;
 use crate::route::{HaltReason, Hop, MeasuredRoute, ProbeResult, ResponseKind};
-use crate::tcptrace::CURRENT_PROBE;
 
 /// The packet I/O a tracer needs. `pt-netsim`'s [`SimTransport`]
 /// implements it over virtual time; a raw-socket transport would
@@ -37,6 +66,16 @@ pub trait Transport {
     /// Block until the next inbound packet or `deadline`, whichever is
     /// first. `None` means the deadline passed silently.
     fn recv_until(&mut self, deadline: SimTime) -> Option<(SimTime, Packet)>;
+    /// Non-blocking poll: the next inbound packet that has *already*
+    /// arrived, without advancing time. The windowed driver drains this
+    /// before computing the earliest outstanding deadline, so transports
+    /// that buffer deliveries (the simulator's inbox lanes) serve
+    /// several in-flight probes per wait. The default (`None`) is
+    /// always correct — [`Transport::recv_until`] re-polls buffered
+    /// deliveries first — just less direct.
+    fn try_recv(&mut self) -> Option<(SimTime, Packet)> {
+        None
+    }
     /// Hand back a packet the tracer has finished with, so the transport
     /// can recycle its buffers. The tracer calls this for every packet
     /// `recv_until` produced; transports without a recycling story just
@@ -71,6 +110,10 @@ impl Transport for SimTransport {
         SimTransport::recv_until(self, deadline)
     }
 
+    fn try_recv(&mut self) -> Option<(SimTime, Packet)> {
+        SimTransport::try_recv(self)
+    }
+
     fn release(&mut self, packet: Packet) {
         // Responses go back into the simulator's payload-buffer pool, so
         // a long trace loop reuses the same few buffers end to end.
@@ -93,8 +136,17 @@ pub struct TraceConfig {
     pub probes_per_hop: u8,
     /// Per-probe response timeout (2 s in the study).
     pub timeout: SimDuration,
-    /// Abandon after this many consecutive all-star hops (8 in the study).
+    /// Abandon after this many consecutive all-star hops (8 in the
+    /// study): the hop that brings the count to this value is the last
+    /// one probed.
     pub max_consecutive_stars: u8,
+    /// Probes kept in flight at once. `1` is the study's strictly
+    /// sequential per-process discipline (send, wait, time out, next);
+    /// the default `3` pipelines the TTL ladder — the virtual-time
+    /// analogue of the paper's 32 parallel tracing processes — and cuts
+    /// virtual probing time roughly ×`window` while measuring the same
+    /// route on deterministic lossless paths (see the module docs).
+    pub window: u8,
 }
 
 impl Default for TraceConfig {
@@ -105,12 +157,15 @@ impl Default for TraceConfig {
             probes_per_hop: 1,
             timeout: SimDuration::from_secs(2),
             max_consecutive_stars: 8,
+            window: 3,
         }
     }
 }
 
 impl TraceConfig {
     /// Exactly the study's parameters (§3), including `min_ttl = 2`.
+    /// Keeps the windowed default; combine with
+    /// [`TraceConfig::sequential`] for the per-process discipline.
     pub fn paper() -> Self {
         TraceConfig { min_ttl: 2, ..Self::default() }
     }
@@ -119,6 +174,14 @@ impl TraceConfig {
     /// makes diamonds visible within a single trace.
     pub fn three_probes() -> Self {
         TraceConfig { probes_per_hop: 3, ..Self::default() }
+    }
+
+    /// This configuration with `window = 1`: the strictly sequential
+    /// send→wait→timeout loop (byte-identical to the pre-windowed
+    /// driver at one probe per hop; see the module docs for the
+    /// terminal-hop caveat under `probes_per_hop > 1`).
+    pub fn sequential(self) -> Self {
+        TraceConfig { window: 1, ..self }
     }
 }
 
@@ -142,6 +205,13 @@ struct Outstanding {
     hop: usize,
     slot: usize,
     sent: SimTime,
+    /// `sent + timeout`: when this probe stops occupying the window.
+    deadline: SimTime,
+    /// The deadline passed with no answer. The entry stays in the
+    /// registry so a late response can still be attributed to it, but
+    /// it no longer counts toward window occupancy and its hop already
+    /// counts it as resolved.
+    expired: bool,
 }
 
 /// Per-hop probe vectors the scratch retains; a trace never exceeds the
@@ -149,18 +219,23 @@ struct Outstanding {
 /// against a caller recycling routes it never traces.
 const SCRATCH_HOP_POOL_CAP: usize = 64;
 
-/// Reusable per-trace bookkeeping: the outstanding-probe registry plus
-/// pools of hop/probe vectors harvested from finished routes. A worker
-/// that keeps one `TraceScratch` across its traces — recycling each
-/// consumed [`MeasuredRoute`] back into it — runs [`trace_with`] with
-/// zero steady-state heap allocation (the counting-allocator regression
-/// test pins this end to end).
+/// Reusable per-trace bookkeeping: the outstanding-probe registry, the
+/// per-hop progress counters, and pools of hop/probe vectors harvested
+/// from finished routes. A worker that keeps one `TraceScratch` across
+/// its traces — recycling each consumed [`MeasuredRoute`] back into it
+/// — runs [`trace_with`] with zero steady-state heap allocation (the
+/// counting-allocator regression test pins this end to end, in both
+/// sequential and windowed modes).
 #[derive(Debug, Default)]
 pub struct TraceScratch {
     /// Outstanding probes by index. A linear scan: a trace keeps at
     /// most `hops × probes_per_hop` entries, and the common case is a
     /// handful of unanswered stragglers.
     registry: Vec<(u64, Outstanding)>,
+    /// Resolved-probe counters (answered or expired), parallel to the
+    /// route's hop list; a hop finalizes — in TTL order — once its
+    /// counter reaches `probes_per_hop`.
+    hop_resolved: Vec<u8>,
     /// Recycled `Hop::probes` vectors.
     probe_vecs: Vec<Vec<ProbeResult>>,
     /// Recycled `MeasuredRoute::hops` vectors.
@@ -199,6 +274,17 @@ impl TraceScratch {
         probes.resize(n, ProbeResult::STAR);
         probes
     }
+
+    /// Drop speculative hops past `keep`, returning their probe vectors
+    /// to the pool.
+    fn truncate_hops(&mut self, hops: &mut Vec<Hop>, keep: usize) {
+        while hops.len() > keep {
+            let hop = hops.pop().expect("len > keep");
+            if self.probe_vecs.len() < SCRATCH_HOP_POOL_CAP {
+                self.probe_vecs.push(hop.probes);
+            }
+        }
+    }
 }
 
 /// Run one traceroute toward `destination` with the given strategy,
@@ -215,6 +301,10 @@ pub fn trace<T: Transport>(
 /// Run one traceroute toward `destination`, reusing `scratch` for all
 /// per-trace bookkeeping. With a warm scratch and a pooling transport,
 /// the whole probe→response cycle performs no heap allocation.
+///
+/// Up to [`TraceConfig::window`] probes stay in flight at once (see the
+/// module docs for the windowed semantics); `window = 1` reproduces the
+/// strictly sequential discipline exactly.
 pub fn trace_with<T: Transport>(
     transport: &mut T,
     strategy: &mut dyn ProbeStrategy,
@@ -225,67 +315,177 @@ pub fn trace_with<T: Transport>(
     let source = transport.source_addr();
     let mut hops: Vec<Hop> = scratch.take_hops();
     scratch.registry.clear();
+    scratch.hop_resolved.clear();
+    let window = usize::from(config.window).max(1);
+    let pph = usize::from(config.probes_per_hop);
+
     let mut probe_idx: u64 = 0;
     let mut consecutive_stars: u8 = 0;
     let mut halt = HaltReason::MaxTtl;
 
-    'ttl_loop: for ttl in config.min_ttl..=config.max_ttl {
-        let hop_index = hops.len();
-        let probes = scratch.take_probes(usize::from(config.probes_per_hop));
-        hops.push(Hop { ttl, probes });
-        for slot in 0..usize::from(config.probes_per_hop) {
-            let idx = probe_idx;
-            probe_idx += 1;
-            let payload = transport.grab_payload();
-            let packet = strategy.build_probe_with(source, destination, ttl, idx, payload);
-            let sent = transport.now();
-            scratch.registry.push((idx, Outstanding { hop: hop_index, slot, sent }));
-            transport.send(packet);
-            let deadline = sent + config.timeout;
-            let mut saw_terminal = false;
-            while let Some((at, resp)) = transport.recv_until(deadline) {
-                let Some(matched) = strategy.match_response(destination, &resp) else {
-                    transport.release(resp);
-                    continue; // stray packet; keep waiting
-                };
-                let matched = if matched == CURRENT_PROBE { idx } else { matched };
-                let Some(pos) = scratch.registry.iter().position(|&(id, _)| id == matched) else {
-                    transport.release(resp);
-                    continue; // duplicate or unknown probe id
-                };
-                let (_, slot_info) = scratch.registry.swap_remove(pos);
-                let (kind, probe_ttl) = classify(&resp);
-                hops[slot_info.hop].probes[slot_info.slot] = ProbeResult {
-                    addr: Some(resp.ip.src),
-                    rtt: Some(at.since(slot_info.sent)),
-                    kind: Some(kind),
-                    probe_ttl,
-                    response_ttl: Some(resp.ip.ttl),
-                    ip_id: Some(resp.ip.identification),
-                };
-                if kind.terminates() {
-                    saw_terminal = true;
-                }
-                let answered_current = matched == idx;
-                transport.release(resp);
-                if answered_current {
-                    break; // current probe answered; next probe or hop
-                }
-            }
-            if saw_terminal {
+    // Send cursor: probes launch in strict (TTL, slot) order.
+    let mut next_ttl = config.min_ttl;
+    let mut next_slot: usize = 0;
+    let mut sent_done = config.min_ttl > config.max_ttl;
+    // First hop index not yet finalized; halting is decided here only.
+    let mut frontier: usize = 0;
+    // Probes in flight (sent, unanswered, deadline not yet passed).
+    let mut outstanding: usize = 0;
+    // Lowest hop with a terminal response recorded so far. Probes are
+    // never launched for hops past it, and the trace halts (discarding
+    // any speculative later hops) once the frontier reaches it.
+    let mut terminal_hop: Option<usize> = None;
+
+    'drive: loop {
+        // 1. Finalize complete hops in TTL order. Everything the route
+        //    reports — the halt reason, which hops exist, the star
+        //    count — is decided here, so out-of-order responses and
+        //    speculative probes cannot change the measured route.
+        while frontier < hops.len() && usize::from(scratch.hop_resolved[frontier]) == pph {
+            if terminal_hop.is_some_and(|h| h <= frontier) {
                 halt = HaltReason::Terminal;
-                break 'ttl_loop;
+                scratch.truncate_hops(&mut hops, frontier + 1);
+                break 'drive;
             }
+            if hops[frontier].all_stars() {
+                consecutive_stars += 1;
+                if consecutive_stars >= config.max_consecutive_stars {
+                    halt = HaltReason::StarLimit;
+                    scratch.truncate_hops(&mut hops, frontier + 1);
+                    break 'drive;
+                }
+            } else {
+                consecutive_stars = 0;
+            }
+            frontier += 1;
         }
-        if hops[hop_index].all_stars() {
-            consecutive_stars += 1;
-            if consecutive_stars > config.max_consecutive_stars {
-                halt = HaltReason::StarLimit;
+
+        // 2. Top up the probe window, never opening a hop past a
+        //    terminal reply (a hop the terminal reply belongs to still
+        //    gets its full probe complement — classic traceroute sends
+        //    all three probes at the terminal TTL).
+        while !sent_done && outstanding < window {
+            let hop_index = if next_slot == 0 { hops.len() } else { hops.len() - 1 };
+            if terminal_hop.is_some_and(|h| hop_index > h) {
                 break;
             }
-        } else {
-            consecutive_stars = 0;
+            if next_slot == 0 {
+                let probes = scratch.take_probes(pph);
+                hops.push(Hop { ttl: next_ttl, probes });
+                scratch.hop_resolved.push(0);
+            }
+            if pph > 0 {
+                let idx = probe_idx;
+                probe_idx += 1;
+                let payload = transport.grab_payload();
+                let packet = strategy.build_probe_with(source, destination, next_ttl, idx, payload);
+                let sent = transport.now();
+                scratch.registry.push((
+                    idx,
+                    Outstanding {
+                        hop: hop_index,
+                        slot: next_slot,
+                        sent,
+                        deadline: sent + config.timeout,
+                        expired: false,
+                    },
+                ));
+                transport.send(packet);
+                outstanding += 1;
+                next_slot += 1;
+            }
+            if next_slot >= pph {
+                next_slot = 0;
+                if next_ttl >= config.max_ttl {
+                    sent_done = true;
+                } else {
+                    next_ttl += 1;
+                }
+            }
         }
+
+        if outstanding == 0 {
+            if sent_done {
+                // Hops pushed by this iteration's send phase may already
+                // be complete (probes_per_hop = 0 resolves a hop the
+                // moment it opens): give finalization another pass
+                // before concluding MaxTtl, so the star limit still
+                // halts empty-hop traces.
+                if frontier < hops.len() && usize::from(scratch.hop_resolved[frontier]) == pph {
+                    continue 'drive;
+                }
+                break; // every hop finalized without a halt: MaxTtl
+            }
+            // Nothing in flight and the send gate is closed: a terminal
+            // reply arrived for a hop the cursor had already passed
+            // (possible only with probes_per_hop > 1 and a late reply).
+            debug_assert!(terminal_hop.is_some(), "send stalled without a terminal reply");
+            halt = HaltReason::Terminal;
+            let keep = (frontier + 1).min(hops.len());
+            scratch.truncate_hops(&mut hops, keep);
+            break;
+        }
+
+        // 3. Resolve whichever in-flight probe settles first: a
+        //    response that already arrived (drained without advancing
+        //    time), the next response before the earliest outstanding
+        //    deadline, or that deadline itself.
+        let delivery = match transport.try_recv() {
+            Some(d) => d,
+            None => {
+                let deadline = scratch
+                    .registry
+                    .iter()
+                    .filter(|(_, o)| !o.expired)
+                    .map(|(_, o)| o.deadline)
+                    .min()
+                    .expect("outstanding probes must carry deadlines");
+                match transport.recv_until(deadline) {
+                    Some(d) => d,
+                    None => {
+                        // The deadline passed silently: retire every
+                        // probe whose window has closed. Entries stay in
+                        // the registry so late responses still attribute.
+                        let now = transport.now();
+                        for (_, o) in scratch.registry.iter_mut() {
+                            if !o.expired && o.deadline <= now {
+                                o.expired = true;
+                                outstanding -= 1;
+                                scratch.hop_resolved[o.hop] += 1;
+                            }
+                        }
+                        continue 'drive;
+                    }
+                }
+            }
+        };
+        let (at, resp) = delivery;
+        let Some(matched) = strategy.match_response(destination, &resp) else {
+            transport.release(resp);
+            continue; // stray packet; keep waiting
+        };
+        let Some(pos) = scratch.registry.iter().position(|&(id, _)| id == matched) else {
+            transport.release(resp);
+            continue; // duplicate or unknown probe id
+        };
+        let (_, o) = scratch.registry.swap_remove(pos);
+        if !o.expired {
+            outstanding -= 1;
+            scratch.hop_resolved[o.hop] += 1;
+        }
+        let (kind, probe_ttl) = classify(&resp);
+        hops[o.hop].probes[o.slot] = ProbeResult {
+            addr: Some(resp.ip.src),
+            rtt: Some(at.since(o.sent)),
+            kind: Some(kind),
+            probe_ttl,
+            response_ttl: Some(resp.ip.ttl),
+            ip_id: Some(resp.ip.identification),
+        };
+        if kind.terminates() && terminal_hop.is_none_or(|h| o.hop < h) {
+            terminal_hop = Some(o.hop);
+        }
+        transport.release(resp);
     }
 
     MeasuredRoute {
@@ -408,10 +608,9 @@ mod tests {
         assert!(!route.reached_destination());
     }
 
-    #[test]
-    fn star_limit_abandons_unresponsive_tail() {
-        // A destination that never answers UDP: after the last router, 8
-        // consecutive stars and give up.
+    /// A destination that never answers UDP: after the last router, the
+    /// trace abandons once the consecutive-star limit is *reached*.
+    fn blackhole() -> (SimTransport, Ipv4Addr) {
         let mut b = pt_netsim::TopologyBuilder::new();
         let s = b.host("S", pt_netsim::HostConfig::default());
         let r = b.router("r", pt_netsim::RouterConfig::default());
@@ -425,14 +624,92 @@ mod tests {
         b.route_via(r, s_pfx, s);
         let dst = b.addr_of(d);
         let topo = std::sync::Arc::new(b.build());
-        let mut tx = SimTransport::new(Simulator::new(topo, 1), s);
+        (SimTransport::new(Simulator::new(topo, 1), s), dst)
+    }
+
+    #[test]
+    fn star_limit_abandons_unresponsive_tail() {
+        let (mut tx, dst) = blackhole();
         let mut strat = ParisUdp::new(41000, 52000);
         let route = trace(&mut tx, &mut strat, dst, TraceConfig::default());
         assert_eq!(route.halt, HaltReason::StarLimit);
-        assert_eq!(route.hops.len(), 1 + 9, "router + 9 star hops (limit 8 exceeded)");
+        assert_eq!(route.hops.len(), 1 + 8, "router + exactly 8 star hops (§3's limit)");
         assert!(!route.reached_destination());
-        assert_eq!(route.stars(), 9);
+        assert_eq!(route.stars(), 8);
         assert_eq!(route.mid_route_stars(), 0, "all stars are trailing");
+    }
+
+    /// Counts probes handed to `send` — what the source actually emits,
+    /// as opposed to what the route records.
+    struct CountingTransport<T: Transport> {
+        inner: T,
+        sent: usize,
+    }
+
+    impl<T: Transport> Transport for CountingTransport<T> {
+        fn now(&self) -> SimTime {
+            self.inner.now()
+        }
+        fn source_addr(&self) -> Ipv4Addr {
+            self.inner.source_addr()
+        }
+        fn send(&mut self, packet: Packet) {
+            self.sent += 1;
+            self.inner.send(packet)
+        }
+        fn recv_until(&mut self, deadline: SimTime) -> Option<(SimTime, Packet)> {
+            self.inner.recv_until(deadline)
+        }
+        fn try_recv(&mut self) -> Option<(SimTime, Packet)> {
+            self.inner.try_recv()
+        }
+        fn release(&mut self, packet: Packet) {
+            self.inner.release(packet)
+        }
+        fn grab_payload(&mut self) -> Vec<u8> {
+            self.inner.grab_payload()
+        }
+    }
+
+    #[test]
+    fn star_limit_boundary_sends_exactly_max_consecutive_stars_probes() {
+        // The off-by-one regression gate: §3 says *eight* consecutive
+        // unanswered hops abandon the trace, so on a blackhole path the
+        // source sends 1 answered probe + 8 star probes — not 9 stars.
+        let (tx, dst) = blackhole();
+        let mut tx = CountingTransport { inner: tx, sent: 0 };
+        let mut strat = ParisUdp::new(41000, 52000);
+        let route = trace(&mut tx, &mut strat, dst, TraceConfig::default().sequential());
+        assert_eq!(route.halt, HaltReason::StarLimit);
+        assert_eq!(route.stars(), 8, "exactly the study's limit, not limit + 1");
+        assert_eq!(tx.sent, 1 + 8, "one answered hop + 8 star probes actually sent");
+
+        // Windowed mode measures the same route; the (bounded) extra
+        // probes it speculates past the limit are discarded.
+        let (tx2, dst2) = blackhole();
+        let mut tx2 = CountingTransport { inner: tx2, sent: 0 };
+        let mut strat2 = ParisUdp::new(41000, 52000);
+        let windowed = trace(&mut tx2, &mut strat2, dst2, TraceConfig::default());
+        assert_eq!(windowed, route, "windowed route must match sequential");
+        assert!(tx2.sent >= 9 && tx2.sent <= 9 + 2, "speculation bounded by window - 1");
+    }
+
+    #[test]
+    fn zero_probes_per_hop_still_hits_the_star_limit() {
+        // A degenerate config nobody should use, but it must keep the
+        // old driver's semantics: a hop with no probes is vacuously
+        // all-star, so the trace abandons at the star limit instead of
+        // spinning out 39 empty hops to MaxTtl.
+        let sc = scenarios::linear(3);
+        for window in [1u8, 3] {
+            let mut tx = transport(&sc, 1);
+            let mut strat = ParisUdp::new(41000, 52000);
+            let config = TraceConfig { probes_per_hop: 0, window, ..TraceConfig::default() };
+            let route = trace(&mut tx, &mut strat, sc.destination, config);
+            assert_eq!(route.halt, HaltReason::StarLimit, "window {window}");
+            assert_eq!(route.hops.len(), 8, "window {window}: exactly the star limit");
+            assert!(route.hops.iter().all(|h| h.probes.is_empty()), "window {window}");
+        }
     }
 
     #[test]
@@ -455,6 +732,32 @@ mod tests {
         for hop in &route.hops[..route.hops.len() - 1] {
             assert_eq!(hop.probes.len(), 3);
             assert!(hop.probes.iter().all(|p| !p.is_star()));
+        }
+    }
+
+    #[test]
+    fn terminal_hop_gets_its_full_probe_complement() {
+        // Classic traceroute sends all three probes at the terminal TTL;
+        // the driver must not leave the later slots as phantom stars
+        // (indistinguishable from loss in the anomaly stats).
+        for window in [1u8, 3] {
+            let sc = scenarios::linear(3);
+            let mut tx = transport(&sc, 1);
+            let mut strat = ClassicUdp::new(7);
+            let config = TraceConfig { window, ..TraceConfig::three_probes() };
+            let route = trace(&mut tx, &mut strat, sc.destination, config);
+            assert_eq!(route.halt, HaltReason::Terminal);
+            let last = route.hops.last().unwrap();
+            assert_eq!(last.probes.len(), 3);
+            assert!(
+                last.probes.iter().all(|p| !p.is_star()),
+                "window {window}: terminal hop slots must all be probed, got {:?}",
+                last.probes
+            );
+            assert!(
+                last.probes.iter().all(|p| p.kind.is_some_and(|k| k.terminates())),
+                "window {window}: every terminal-hop probe reaches the destination"
+            );
         }
     }
 
@@ -498,5 +801,206 @@ mod tests {
         }
         let ttls: Vec<_> = (5..=8).map(|i| route.hops[i].probes[0].response_ttl.unwrap()).collect();
         assert_eq!(ttls, vec![250, 249, 248, 247], "the paper's Fig. 5 numbers");
+    }
+
+    // ------------------------------------------------------------------
+    // Scripted-transport tests: attribution under reordering, late
+    // replies, and duplicates — the windowed failure modes a live
+    // simulator only hits probabilistically.
+    // ------------------------------------------------------------------
+
+    use pt_wire::icmp::Quotation;
+    use pt_wire::ipv4::{protocol, Ipv4Header};
+
+    /// A transport whose "network" is a script: each sent probe may
+    /// produce replies at arbitrary future times (including never, out
+    /// of order, or twice).
+    struct ScriptedTransport<F: FnMut(&Packet, SimTime) -> Vec<(SimTime, Packet)>> {
+        now: SimTime,
+        source: Ipv4Addr,
+        pending: Vec<(SimTime, u64, Packet)>,
+        next_seq: u64,
+        plan: F,
+    }
+
+    impl<F: FnMut(&Packet, SimTime) -> Vec<(SimTime, Packet)>> ScriptedTransport<F> {
+        fn new(source: Ipv4Addr, plan: F) -> Self {
+            ScriptedTransport { now: SimTime::ZERO, source, pending: Vec::new(), next_seq: 0, plan }
+        }
+
+        fn pop_due(&mut self, deadline: SimTime) -> Option<(SimTime, Packet)> {
+            let best = self
+                .pending
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (at, seq, _))| (*at, *seq))
+                .map(|(i, (at, _, _))| (i, *at))?;
+            if best.1 > deadline {
+                return None;
+            }
+            let (at, _, packet) = self.pending.remove(best.0);
+            self.now = self.now.max(at);
+            Some((at, packet))
+        }
+    }
+
+    impl<F: FnMut(&Packet, SimTime) -> Vec<(SimTime, Packet)>> Transport for ScriptedTransport<F> {
+        fn now(&self) -> SimTime {
+            self.now
+        }
+        fn source_addr(&self) -> Ipv4Addr {
+            self.source
+        }
+        fn send(&mut self, packet: Packet) {
+            for (at, resp) in (self.plan)(&packet, self.now) {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.pending.push((at, seq, resp));
+            }
+        }
+        fn recv_until(&mut self, deadline: SimTime) -> Option<(SimTime, Packet)> {
+            match self.pop_due(deadline) {
+                Some(d) => Some(d),
+                None => {
+                    self.now = self.now.max(deadline);
+                    None
+                }
+            }
+        }
+        fn try_recv(&mut self) -> Option<(SimTime, Packet)> {
+            self.pop_due(self.now)
+        }
+    }
+
+    fn hop_addr(ttl: u8) -> Ipv4Addr {
+        Ipv4Addr::new(10, 9, ttl, 1)
+    }
+
+    fn time_exceeded_for(probe: &Packet, from: Ipv4Addr) -> Packet {
+        let q = Quotation::from_probe(probe.ip, &probe.transport_bytes());
+        let ip = Ipv4Header::new(from, probe.ip.src, protocol::ICMP, 250);
+        Packet::new(ip, Wire::Icmp(IcmpMessage::TimeExceeded { quotation: q }))
+    }
+
+    fn port_unreachable_for(probe: &Packet, from: Ipv4Addr) -> Packet {
+        let q = Quotation::from_probe(probe.ip, &probe.transport_bytes());
+        let ip = Ipv4Header::new(from, probe.ip.src, protocol::ICMP, 60);
+        Packet::new(
+            ip,
+            Wire::Icmp(IcmpMessage::DestUnreachable { code: UnreachableCode::Port, quotation: q }),
+        )
+    }
+
+    #[test]
+    fn reordered_responses_attribute_to_their_own_hops() {
+        // Hop 1 answers *slower* than hop 2 (think unequal-length
+        // load-balanced branches): with a 3-probe window both are in
+        // flight and hop 2's reply lands first. Attribution must go by
+        // probe id, not arrival order.
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(192, 0, 2, 9);
+        let plan = |probe: &Packet, now: SimTime| {
+            let ttl = probe.ip.ttl;
+            let delay = match ttl {
+                1 => SimDuration::from_millis(900), // slow outlier
+                3 => {
+                    return vec![(now + SimDuration::from_millis(30), {
+                        let mut p = port_unreachable_for(probe, dst);
+                        p.ip.src = dst;
+                        p
+                    })]
+                }
+                _ => SimDuration::from_millis(10 * u64::from(ttl)),
+            };
+            vec![(now + delay, time_exceeded_for(probe, hop_addr(ttl)))]
+        };
+        let mut tx = ScriptedTransport::new(src, plan);
+        let mut strat = ParisUdp::new(41000, 52000);
+        let route = trace(&mut tx, &mut strat, dst, TraceConfig::default());
+        assert_eq!(route.halt, HaltReason::Terminal);
+        assert_eq!(route.hops.len(), 3);
+        assert_eq!(route.hops[0].probes[0].addr, Some(hop_addr(1)));
+        assert_eq!(route.hops[1].probes[0].addr, Some(hop_addr(2)));
+        assert_eq!(route.hops[2].probes[0].addr, Some(dst));
+        assert_eq!(
+            route.hops[0].probes[0].rtt,
+            Some(SimDuration::from_millis(900)),
+            "RTT measured against the probe's own send time"
+        );
+    }
+
+    #[test]
+    fn late_response_after_timeout_still_attributes() {
+        // Hop 2's reply arrives after its 2 s window (recorded as a star
+        // at finalization) but during hop 4's wait: the registry keeps
+        // expired probes, so the record is filled in retroactively —
+        // the same forgiveness the sequential driver always had.
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(192, 0, 2, 9);
+        let plan = |probe: &Packet, now: SimTime| {
+            let ttl = probe.ip.ttl;
+            let delay = match ttl {
+                2 => SimDuration::from_millis(2050), // past the 2 s timeout
+                5 => {
+                    return vec![(now + SimDuration::from_millis(50), {
+                        let mut p = port_unreachable_for(probe, dst);
+                        p.ip.src = dst;
+                        p
+                    })]
+                }
+                _ => SimDuration::from_millis(10 * u64::from(ttl)),
+            };
+            vec![(now + delay, time_exceeded_for(probe, hop_addr(ttl)))]
+        };
+        let mut tx = ScriptedTransport::new(src, plan);
+        let mut strat = ParisUdp::new(41000, 52000);
+        let route = trace(&mut tx, &mut strat, dst, TraceConfig::default().sequential());
+        assert_eq!(route.halt, HaltReason::Terminal);
+        assert_eq!(route.hops.len(), 5);
+        assert_eq!(
+            route.hops[1].probes[0].addr,
+            Some(hop_addr(2)),
+            "late reply must still fill its own hop record"
+        );
+        assert_eq!(route.hops[1].probes[0].rtt, Some(SimDuration::from_millis(2050)));
+    }
+
+    #[test]
+    fn duplicate_responses_are_ignored() {
+        // Each hop answers twice; the second copy finds no registry
+        // entry (the first consumed it) and must not clobber anything —
+        // in particular not a *different* probe's slot.
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let dst = Ipv4Addr::new(192, 0, 2, 9);
+        let plan = |probe: &Packet, now: SimTime| {
+            let ttl = probe.ip.ttl;
+            if ttl == 3 {
+                let mut p = port_unreachable_for(probe, dst);
+                p.ip.src = dst;
+                let mut q = port_unreachable_for(probe, dst);
+                q.ip.src = dst;
+                return vec![
+                    (now + SimDuration::from_millis(30), p),
+                    (now + SimDuration::from_millis(31), q),
+                ];
+            }
+            let first = time_exceeded_for(probe, hop_addr(ttl));
+            let second = time_exceeded_for(probe, hop_addr(ttl));
+            vec![
+                (now + SimDuration::from_millis(10 * u64::from(ttl)), first),
+                (now + SimDuration::from_millis(10 * u64::from(ttl) + 5), second),
+            ]
+        };
+        for window in [1u8, 3] {
+            let mut tx = ScriptedTransport::new(src, plan);
+            let mut strat = ParisUdp::new(41000, 52000);
+            let config = TraceConfig { window, ..TraceConfig::default() };
+            let route = trace(&mut tx, &mut strat, dst, config);
+            assert_eq!(route.halt, HaltReason::Terminal, "window {window}");
+            assert_eq!(route.hops.len(), 3, "window {window}");
+            for (i, hop) in route.hops[..2].iter().enumerate() {
+                assert_eq!(hop.probes[0].addr, Some(hop_addr(i as u8 + 1)), "window {window}");
+            }
+        }
     }
 }

@@ -47,10 +47,24 @@ impl SimTransport {
         self.sim.inject(self.source, packet);
     }
 
+    /// Non-blocking poll: the oldest packet already delivered to the
+    /// source, without advancing virtual time or processing any event.
+    ///
+    /// The windowed tracer drains this before computing which of its
+    /// several in-flight probe timers to wait on next, so a burst of
+    /// responses landing in one `recv_until` window is consumed without
+    /// re-deriving deadlines per packet.
+    pub fn try_recv(&mut self) -> Option<(SimTime, Packet)> {
+        self.sim.pop_delivery(self.source)
+    }
+
     /// Wait for the next packet delivered to the source, up to `deadline`.
     ///
     /// Returns the arrival time and packet, leaving the clock at the
     /// arrival; or `None` with the clock at `deadline` (probe timeout).
+    /// With several probes outstanding, callers pass the *earliest* of
+    /// their deadlines and repeat — the wheel services every in-flight
+    /// probe timer in one pass per wait.
     pub fn recv_until(&mut self, deadline: SimTime) -> Option<(SimTime, Packet)> {
         loop {
             if let Some(delivery) = self.sim.pop_delivery(self.source) {
@@ -155,5 +169,24 @@ mod tests {
         let first = tx.recv_until(deadline).unwrap();
         let second = tx.recv_until(deadline).unwrap();
         assert!(first.0 <= second.0);
+    }
+
+    #[test]
+    fn try_recv_drains_without_advancing_time() {
+        let (mut tx, dst) = two_hop();
+        let src = tx.source_addr();
+        assert!(tx.try_recv().is_none(), "nothing delivered yet");
+        tx.send(probe(src, dst, 1)); // 10ms RTT
+        tx.send(probe(src, dst, 9)); // 20ms RTT
+        let deadline = tx.now() + SimDuration::from_millis(50);
+        let first = tx.recv_until(deadline).unwrap();
+        assert_eq!(first.0.nanos(), SimDuration::from_millis(10).nanos());
+        // Advance past the second arrival without consuming it.
+        tx.simulator_mut().run_until(deadline);
+        let now = tx.now();
+        let second = tx.try_recv().expect("second response already delivered");
+        assert_eq!(second.0.nanos(), SimDuration::from_millis(20).nanos());
+        assert_eq!(tx.now(), now, "try_recv must not advance the clock");
+        assert!(tx.try_recv().is_none());
     }
 }

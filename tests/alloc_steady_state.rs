@@ -8,10 +8,13 @@
 //! * in-flight packets live in the `PacketArena`,
 //! * probe payloads circulate through `Transport::grab_payload` /
 //!   `Transport::release`,
-//! * per-trace bookkeeping (hop records, probe registry) recycles
-//!   through `TraceScratch`,
+//! * per-trace bookkeeping (hop records, probe registry, per-hop
+//!   progress counters) recycles through `TraceScratch`,
 //! * inbox lanes and the ICMP scratch buffer keep their capacity across
-//!   `Simulator::reset`.
+//!   `Simulator::reset`,
+//! * and all of the above hold in both tracer modes: the strictly
+//!   sequential `window = 1` discipline and the windowed default, whose
+//!   speculative probes and truncated hops must recycle too.
 //!
 //! The file contains exactly one `#[test]`: the counter is a process
 //! global, and a sibling test running on another thread would smear its
@@ -70,15 +73,21 @@ fn steady_state_trace_pair_allocates_nothing() {
     let mut scratch = TraceScratch::new();
 
     let unit = |pool: &mut SimulatorPool, scratch: &mut TraceScratch, seed: u64| {
+        // Alternate between the windowed default and the sequential
+        // window so both drive loops are pinned allocation-free.
+        let config = if seed.is_multiple_of(2) {
+            TraceConfig::paper()
+        } else {
+            TraceConfig::paper().sequential()
+        };
         let sim = pool.acquire(seed);
         let mut tx = SimTransport::new(sim, sc.source);
         let mut paris = ParisUdp::new(41_000 + (seed as u16 & 0xff), 52_000);
-        let route = trace_with(&mut tx, &mut paris, sc.destination, TraceConfig::paper(), scratch);
+        let route = trace_with(&mut tx, &mut paris, sc.destination, config, scratch);
         assert!(route.reached_destination(), "scenario must stay healthy (seed {seed})");
         scratch.recycle(route);
         let mut classic = ClassicUdp::new(seed as u16 & 0x7fff);
-        let route =
-            trace_with(&mut tx, &mut classic, sc.destination, TraceConfig::paper(), scratch);
+        let route = trace_with(&mut tx, &mut classic, sc.destination, config, scratch);
         assert!(route.reached_destination(), "scenario must stay healthy (seed {seed})");
         scratch.recycle(route);
         pool.release(tx.into_simulator());

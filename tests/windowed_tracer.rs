@@ -1,0 +1,134 @@
+//! Windowed-vs-sequential equivalence: on deterministic lossless
+//! scenarios, the windowed tracer (any `window`) must measure *exactly*
+//! the route the sequential tracer measures — same addresses, same
+//! response kinds, same RTTs and IP IDs, same halt reason — for every
+//! one of the six probing strategies. The window is a virtual-time
+//! knob, never a measurement knob.
+//!
+//! Each trace gets a fresh simulator so the comparison is exact down to
+//! per-node IP-ID streams (a shared simulator would let one trace's
+//! speculative probes advance another trace's counters, which is fine
+//! in a campaign but would blur this test's full-equality assertion).
+
+use paris_traceroute_repro::core::{
+    trace, ClassicIcmp, ClassicUdp, HaltReason, MeasuredRoute, ParisIcmp, ParisTcp, ParisUdp,
+    ProbeStrategy, TcpTraceroute, TraceConfig,
+};
+use paris_traceroute_repro::netsim::{scenarios, BalancerKind, SimTransport, Simulator};
+use paris_traceroute_repro::wire::FlowPolicy;
+
+fn strategies() -> Vec<Box<dyn ProbeStrategy>> {
+    vec![
+        Box::new(ClassicUdp::new(777)),
+        Box::new(ClassicIcmp::new(777)),
+        Box::new(ParisUdp::new(41_234, 52_345)),
+        Box::new(ParisIcmp::new(0x5aa5)),
+        Box::new(ParisTcp::new(55_111)),
+        Box::new(TcpTraceroute::new(55_222)),
+    ]
+}
+
+fn scenario_list() -> Vec<(&'static str, scenarios::Scenario)> {
+    vec![
+        ("linear", scenarios::linear(7)),
+        ("fig1", scenarios::fig1(BalancerKind::PerFlow(FlowPolicy::FiveTuple))),
+        ("fig3", scenarios::fig3(BalancerKind::PerFlow(FlowPolicy::FirstFourOctets))),
+        ("fig4", scenarios::fig4()),
+        ("fig5", scenarios::fig5()),
+        ("fig6", scenarios::fig6(BalancerKind::PerFlow(FlowPolicy::FiveTupleTos))),
+        ("unreachability", scenarios::unreachability_loop()),
+    ]
+}
+
+fn run_one(
+    sc: &scenarios::Scenario,
+    strat: &mut dyn ProbeStrategy,
+    window: u8,
+) -> (MeasuredRoute, f64) {
+    let mut tx = SimTransport::new(Simulator::new(sc.topology.clone(), 11), sc.source);
+    let config = TraceConfig { window, ..TraceConfig::default() };
+    let route = trace(&mut tx, strat, sc.destination, config);
+    (route, tx.now().as_secs_f64())
+}
+
+#[test]
+fn every_strategy_measures_identical_routes_at_any_window() {
+    for (name, sc) in scenario_list() {
+        for mut strat in strategies() {
+            let id = strat.id();
+            let (baseline, _) = run_one(&sc, strat.as_mut(), 1);
+            assert_ne!(baseline.hops.len(), 0, "{name}/{id}: empty sequential route");
+            for window in [2u8, 3, 8, 39] {
+                let (route, _) = run_one(&sc, strat.as_mut(), window);
+                assert_eq!(
+                    route, baseline,
+                    "{name}/{id}: window {window} diverged from the sequential route"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn windowed_probing_cuts_virtual_trace_time() {
+    // The same routes, measured faster: on the 7-router chain every
+    // strategy's windowed trace must finish in well under the
+    // sequential virtual time (the RTT ladder pipelines ~x window).
+    let sc = scenarios::linear(7);
+    for mut strat in strategies() {
+        let id = strat.id();
+        let (_, sequential_secs) = run_one(&sc, strat.as_mut(), 1);
+        let (_, windowed_secs) = run_one(&sc, strat.as_mut(), TraceConfig::default().window);
+        assert!(
+            windowed_secs * 2.0 <= sequential_secs,
+            "{id}: windowed trace took {windowed_secs}s vs sequential {sequential_secs}s"
+        );
+    }
+}
+
+#[test]
+fn star_limit_truncation_matches_sequential_on_firewalled_destinations() {
+    // A blackholed tail exercises both PR-4 fixes at once: the trace
+    // abandons after *exactly* eight star hops, and windowed
+    // speculation past the limit is discarded.
+    use paris_traceroute_repro::netsim::time::SimDuration;
+    use paris_traceroute_repro::netsim::{HostConfig, RouterConfig, TopologyBuilder};
+
+    let mut b = TopologyBuilder::new();
+    let s = b.host("S", HostConfig::default());
+    let r1 = b.router("r1", RouterConfig::default());
+    let r2 = b.router("r2", RouterConfig::default());
+    let d = b.host("D", HostConfig::firewalled());
+    b.link(s, r1, SimDuration::from_millis(1), 0.0);
+    b.link(r1, r2, SimDuration::from_millis(2), 0.0);
+    b.link(r2, d, SimDuration::from_millis(1), 0.0);
+    b.default_via(s, r1);
+    b.default_via(r1, r2);
+    b.default_via(r2, d);
+    b.default_via(d, r2);
+    let s_pfx = b.subnet_of(s);
+    b.route_via(r1, s_pfx, s);
+    b.route_via(r2, s_pfx, r1);
+    let dst = b.addr_of(d);
+    let topo = std::sync::Arc::new(b.build());
+
+    let run = |window: u8| {
+        let mut tx = SimTransport::new(Simulator::new(topo.clone(), 3), s);
+        let mut strat = ParisUdp::new(41_000, 52_000);
+        let config = TraceConfig { window, ..TraceConfig::default() };
+        let route = trace(&mut tx, &mut strat, dst, config);
+        (route, tx.now().as_secs_f64())
+    };
+    let (baseline, sequential_secs) = run(1);
+    assert_eq!(baseline.halt, HaltReason::StarLimit);
+    assert_eq!(baseline.hops.len(), 2 + 8, "two routers + exactly eight star hops");
+    assert_eq!(baseline.stars(), 8);
+    for window in [3u8, 8] {
+        let (route, windowed_secs) = run(window);
+        assert_eq!(route, baseline, "window {window}");
+        assert!(
+            windowed_secs * 2.0 <= sequential_secs,
+            "window {window}: star timeouts must overlap ({windowed_secs}s vs {sequential_secs}s)"
+        );
+    }
+}
