@@ -1,9 +1,9 @@
-//! E12 — §6 future work: MDA interface enumeration and per-flow /
-//! per-packet discrimination.
+//! E12 — §6 future work: MDA interface enumeration, DAG recovery and
+//! per-flow / per-packet discrimination on the figure scenarios.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pt_bench::{header, transport};
-use pt_mda::{classify_balancer, enumerate, probes_to_rule_out, BalancerClass, MdaConfig};
+use pt_mda::{discover, probes_to_rule_out, BalancerClass, MdaConfig, MdaScratch};
 use pt_netsim::node::BalancerKind;
 use pt_netsim::scenarios;
 use pt_wire::FlowPolicy;
@@ -15,38 +15,61 @@ fn experiment() {
     for k in 1..=8 {
         print!(" k={k}:{}", probes_to_rule_out(k, 0.05));
     }
-    println!();
+    println!("  (the MDA paper's table: 6 11 16 21 27 33 38 44)");
     let sc = scenarios::fig6(BalancerKind::PerFlow(FlowPolicy::FiveTuple));
     let mut tx = transport(&sc, 17);
-    let map = enumerate(&mut tx, sc.destination, &MdaConfig::default());
+    let config = MdaConfig { alpha: 0.01, ..MdaConfig::default() };
+    let map = discover(&mut tx, sc.destination, &config);
+    println!("  fig6 widths per hop: {:?}", map.hops.iter().map(|h| h.width()).collect::<Vec<_>>());
     println!(
-        "  fig6 widths per hop: {:?}",
-        map.hops.iter().map(|h| h.interfaces.len()).collect::<Vec<_>>()
+        "  total probes: {} over {} hops, {} links",
+        map.total_probes,
+        map.hops.len(),
+        map.links.len()
     );
-    println!("  total probes: {} over {} hops", map.total_probes, map.hops.len());
     assert_eq!(map.max_width(), 3);
-    let class = classify_balancer(&mut tx, sc.destination, 7, 12, &MdaConfig::default());
-    println!("  hop-7 balancer class: {class:?}");
-    assert_eq!(class, BalancerClass::PerFlow);
+    println!("  hop-7 balancer class: {:?}", map.hops[6].class);
+    assert_eq!(map.classification(), BalancerClass::PerFlow);
     let pp = scenarios::fig6(BalancerKind::PerPacket);
     let mut tx = transport(&pp, 17);
-    let class = classify_balancer(&mut tx, pp.destination, 7, 12, &MdaConfig::default());
-    println!("  same hop under a per-packet balancer: {class:?}");
-    assert_eq!(class, BalancerClass::PerPacket);
+    let map = discover(&mut tx, pp.destination, &config);
+    println!("  same topology under a per-packet balancer: {:?}", map.classification());
+    assert_eq!(map.classification(), BalancerClass::PerPacket);
+    let f3 = scenarios::fig3(BalancerKind::PerFlow(FlowPolicy::FiveTuple));
+    let mut tx = transport(&f3, 17);
+    let map = discover(&mut tx, f3.destination, &config);
+    println!("  fig3 unequal diamond: discovered delta {}", map.discovered_delta());
+    assert_eq!(map.discovered_delta(), 1);
 }
 
 fn bench(c: &mut Criterion) {
     experiment();
     let sc = scenarios::fig6(BalancerKind::PerFlow(FlowPolicy::FiveTuple));
-    c.bench_function("mda/enumerate_fig6", |b| {
+    c.bench_function("mda/discover_fig6", |b| {
         let mut tx = transport(&sc, 17);
-        b.iter(|| enumerate(&mut tx, sc.destination, &MdaConfig::default()))
+        let mut scratch = MdaScratch::new();
+        b.iter(|| {
+            let map = discover_with_scratch(&mut tx, &sc, &mut scratch);
+            scratch.recycle(map);
+        })
     });
     let lin = scenarios::linear(6);
-    c.bench_function("mda/enumerate_linear6", |b| {
+    c.bench_function("mda/discover_linear6", |b| {
         let mut tx = transport(&lin, 17);
-        b.iter(|| enumerate(&mut tx, lin.destination, &MdaConfig::default()))
+        let mut scratch = MdaScratch::new();
+        b.iter(|| {
+            let map = discover_with_scratch(&mut tx, &lin, &mut scratch);
+            scratch.recycle(map);
+        })
     });
+}
+
+fn discover_with_scratch(
+    tx: &mut pt_netsim::SimTransport,
+    sc: &scenarios::Scenario,
+    scratch: &mut MdaScratch,
+) -> pt_mda::MultipathMap {
+    pt_mda::discover_with(tx, sc.destination, &MdaConfig::default(), scratch)
 }
 
 criterion_group! {

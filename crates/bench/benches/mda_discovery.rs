@@ -1,0 +1,164 @@
+//! E13 — campaign-scale multipath discovery: the windowed MDA engine's
+//! virtual-time dividend over the sequential walk, plus wall-clock
+//! throughput of the multipath campaign mode.
+//!
+//! Virtual probing seconds per destination is the paper-relevant
+//! number (per-destination probing time bounded the study's campaign,
+//! §3): a sequential MDA walk pays every probe's RTT — and every
+//! silent hop's 2 s timeout ladder — serially, while the windowed
+//! engine overlaps up to `MdaConfig::window` of them. The bench
+//! asserts, in real timing runs only (never under `cargo bench --
+//! --test`, the CI smoke pass):
+//!
+//! * windowed MDA must cut mean virtual probing seconds per
+//!   destination by ≥ 1.5× vs the sequential walk (the PR-5
+//!   acceptance gate; the cut is deterministic, but only meaningful on
+//!   a fully warmed campaign);
+//! * the two modes must discover identical per-destination results on
+//!   the deterministic workload (asserted in smoke runs too — it is
+//!   wall-clock-free).
+//!
+//! A real timing run records the numbers in `BENCH_pr5.json` at the
+//! workspace root.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pt_bench::header;
+use pt_campaign::{run_multipath, validate_multipath, MultipathConfig};
+use pt_mda::MdaConfig;
+use pt_topogen::{generate, InternetConfig, SyntheticInternet};
+
+const DESTS: usize = 60;
+
+fn net() -> SyntheticInternet {
+    // Deterministic (no link loss, no per-packet balancing) so the
+    // windowed and sequential walks are comparable DAG-for-DAG; a
+    // firewalled share keeps the star-timeout ladder — where windowing
+    // pays most — on the path.
+    generate(&InternetConfig {
+        seed: 5,
+        n_destinations: DESTS,
+        per_flow_lb: 0.5,
+        lb_delta1_weight: 0.3,
+        per_packet_lb: 0.0,
+        firewalled_dest: 0.15,
+        silent_router: 0.03,
+        link_loss: 0.0,
+        ..InternetConfig::default()
+    })
+}
+
+fn config(workers: usize, window: u8) -> MultipathConfig {
+    let mut mc = MultipathConfig { workers, seed: 5, ..MultipathConfig::default() };
+    mc.mda.window = window;
+    mc
+}
+
+/// Best-of-N wall-clock seconds plus the (repeat-invariant) virtual
+/// time and accuracy for a multipath campaign.
+fn best_run(net: &SyntheticInternet, workers: usize, window: u8, runs: usize) -> (f64, f64) {
+    let mut virtual_secs = 0.0;
+    let wall = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            let result = run_multipath(net, &config(workers, window));
+            let score = validate_multipath(net, &result);
+            assert_eq!(score.false_balancers, 0, "no false balancers on the bench workload");
+            assert!(score.accuracy() >= 0.9, "bench workload accuracy: {score:?}");
+            virtual_secs = result.mean_virtual_secs;
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min);
+    (wall, virtual_secs)
+}
+
+struct Measured {
+    sequential_secs: f64,
+    windowed_secs: f64,
+    sequential_virtual: f64,
+    windowed_virtual: f64,
+}
+
+fn experiment() -> Measured {
+    header("E13 / perf", "windowed MDA vs sequential walk, campaign scale");
+    let net = net();
+    let window = MdaConfig::default().window;
+    let smoke = std::env::args().any(|a| a == "--test");
+    let runs = if smoke { 1 } else { 3 };
+    let _warmup = best_run(&net, 1, 1, 1);
+    let (sequential_secs, sequential_virtual) = best_run(&net, 1, 1, runs);
+    let (windowed_secs, windowed_virtual) = best_run(&net, 1, window, runs);
+    let cut = sequential_virtual / windowed_virtual;
+    println!("  {DESTS} destinations, 1 discovery round, 1 worker");
+    println!(
+        "  sequential (window 1):  {sequential_secs:>8.4} s wall, \
+         {sequential_virtual:>7.2} virtual s/dest"
+    );
+    println!(
+        "  windowed  (window {window}):  {windowed_secs:>8.4} s wall, \
+         {windowed_virtual:>7.2} virtual s/dest"
+    );
+    println!("  virtual probing time cut: {cut:.2}x");
+    // DAG identity between the modes is deterministic — assert always.
+    let seq = run_multipath(&net, &config(1, 1));
+    let win = run_multipath(&net, &config(1, window));
+    let summary = |r: &pt_campaign::MultipathResult| {
+        r.per_dest
+            .iter()
+            .map(|d| (d.dest, d.width, d.observed_width, d.delta, d.class, d.reached))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(summary(&win), summary(&seq), "window changed discovered results");
+    if !smoke {
+        assert!(
+            cut >= 1.5,
+            "PR-5 acceptance: windowed MDA must cut virtual probing seconds per \
+             destination >= 1.5x vs the sequential walk, got {cut:.2}x"
+        );
+    }
+    Measured { sequential_secs, windowed_secs, sequential_virtual, windowed_virtual }
+}
+
+fn write_baseline(m: &Measured) {
+    let window = MdaConfig::default().window;
+    let json = format!(
+        "{{\n  \"bench\": \"mda_discovery\",\n  \"campaign\": {{\"destinations\": {DESTS}, \"rounds\": 1}},\n  \"window\": {window},\n  \"sequential_wall_secs\": {:.4},\n  \"windowed_wall_secs\": {:.4},\n  \"virtual_secs_per_dest_sequential\": {:.3},\n  \"virtual_secs_per_dest_windowed\": {:.3},\n  \"virtual_time_cut\": {:.2}\n}}\n",
+        m.sequential_secs,
+        m.windowed_secs,
+        m.sequential_virtual,
+        m.windowed_virtual,
+        m.sequential_virtual / m.windowed_virtual,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr5.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("  baseline written to BENCH_pr5.json"),
+        Err(e) => println!("  (could not write BENCH_pr5.json: {e})"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let measured = experiment();
+    // `cargo bench -- --test` (the CI smoke run) must not clobber the
+    // committed baseline with unwarmed single-shot numbers.
+    if !std::env::args().any(|a| a == "--test") {
+        write_baseline(&measured);
+    }
+    let net = net();
+    let window = MdaConfig::default().window;
+    c.bench_function("mda_discovery/sequential", |b| b.iter(|| run_multipath(&net, &config(1, 1))));
+    c.bench_function("mda_discovery/windowed", |b| {
+        b.iter(|| run_multipath(&net, &config(1, window)))
+    });
+    c.bench_function("mda_discovery/windowed_8_workers", |b| {
+        b.iter(|| run_multipath(&net, &config(8, window)))
+    });
+    criterion::black_box(&measured);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

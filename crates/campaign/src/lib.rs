@@ -8,6 +8,12 @@
 //! whose virtual clock, IP-ID counters and routing dynamics persist
 //! across traces. Results flow into `pt-anomaly` accumulators; the
 //! classic-vs-Paris comparison reproduces §4's attribution.
+//!
+//! A second campaign mode, [`run_multipath`], runs the §6 future work
+//! at the same scale: windowed MDA discovery (`pt-mda`) toward every
+//! destination over the identical work-stealing `(destination, round)`
+//! pool, with the same seed-derived determinism guarantee, scored
+//! against the generator's planted balancers by [`validate_multipath`].
 
 #![warn(missing_docs)]
 
@@ -15,6 +21,11 @@ pub mod report;
 pub mod runner;
 pub mod validate;
 
-pub use report::{render_report, report_digest, PaperBaseline};
-pub use runner::{run, CampaignConfig, CampaignResult, DynamicsConfig};
-pub use validate::{validate_causes, ValidationReport};
+pub use report::{
+    multipath_digest, render_multipath_report, render_report, report_digest, PaperBaseline,
+};
+pub use runner::{
+    run, run_multipath, CampaignConfig, CampaignResult, DestMultipath, DynamicsConfig,
+    MultipathConfig, MultipathReport, MultipathResult, UnitDiscovery,
+};
+pub use validate::{validate_causes, validate_multipath, MultipathScore, ValidationReport};

@@ -3,7 +3,7 @@
 
 use pt_anomaly::stats::{FinalCycleCause, FinalLoopCause};
 
-use crate::runner::CampaignResult;
+use crate::runner::{CampaignResult, MultipathResult};
 
 /// Every quantitative claim of the paper's study, as published.
 #[derive(Debug, Clone, Copy)]
@@ -219,10 +219,86 @@ pub fn report_digest(result: &CampaignResult) -> String {
     out
 }
 
+/// Render the multipath-discovery summary — the §6 numbers the anomaly
+/// tables cannot show, printed next to them: how many destinations
+/// carry a balancer, its width/delta spectrum, and the per-flow vs
+/// per-packet split.
+pub fn render_multipath_report(result: &MultipathResult) -> String {
+    use std::fmt::Write;
+    let r = &result.report;
+    let mut out = String::new();
+    out.push_str("## Multipath discovery (§6 future work, MDA)\n\n");
+    let _ = writeln!(
+        out,
+        "- destinations: {} × {} round(s); reached: {}\n\
+         - balanced destinations discovered: {} ({} per-flow, {} per-packet, {} undetermined)\n\
+         - confident width histogram (2 / 3 / ≥4): {} / {} / {}\n\
+         - branch-length delta histogram (0 / 1 / ≥2): {} / {} / {}\n\
+         - mean probes per destination: {:.1}\n\
+         - mean virtual probing secs per destination: {:.2}",
+        r.destinations,
+        r.rounds,
+        r.reached_dests,
+        r.balanced_dests,
+        r.per_flow_dests,
+        r.per_packet_dests,
+        r.undetermined_dests,
+        r.width_hist[0],
+        r.width_hist[1],
+        r.width_hist[2],
+        r.delta_hist[0],
+        r.delta_hist[1],
+        r.delta_hist[2],
+        r.mean_probes,
+        result.mean_virtual_secs,
+    );
+    out
+}
+
+/// A canonical digest of a multipath campaign's results: every per-unit
+/// discovery in unit order, the merged per-destination view, and the
+/// aggregate report. Two runs produced identical results iff their
+/// digests are byte-identical — the worker-invariance test for the
+/// multipath mode diffs this string.
+pub fn multipath_digest(result: &MultipathResult) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    for u in &result.units {
+        let _ = writeln!(
+            out,
+            "unit d{} r{} {}: w={}/{} delta={} class={:?} hops={} links={} stars={} unconv={} \
+             probes={} reached={}",
+            u.dest,
+            u.round,
+            u.addr,
+            u.width,
+            u.observed_width,
+            u.delta,
+            u.class,
+            u.hops,
+            u.links,
+            u.stars,
+            u.unconverged_hops,
+            u.probes,
+            u.reached,
+        );
+    }
+    for d in &result.per_dest {
+        let _ = writeln!(
+            out,
+            "dest {} {}: w={}/{} delta={} class={:?} probes={} reached={}",
+            d.dest, d.addr, d.width, d.observed_width, d.delta, d.class, d.probes, d.reached,
+        );
+    }
+    let _ = writeln!(out, "report: {:?}", result.report);
+    let _ = writeln!(out, "mean_virtual_secs: {:?}", result.mean_virtual_secs);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::{run, CampaignConfig};
+    use crate::runner::{run, run_multipath, CampaignConfig, MultipathConfig};
     use pt_topogen::{generate, InternetConfig};
 
     #[test]
@@ -242,6 +318,25 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle:?} in report:\n{text}");
         }
+    }
+
+    #[test]
+    fn multipath_report_renders_and_digests() {
+        let net = generate(&InternetConfig::tiny(5));
+        let result = run_multipath(&net, &MultipathConfig { workers: 2, ..Default::default() });
+        let text = render_multipath_report(&result);
+        for needle in [
+            "Multipath discovery",
+            "balanced destinations discovered",
+            "width histogram",
+            "delta histogram",
+            "virtual probing secs",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in report:\n{text}");
+        }
+        let digest = multipath_digest(&result);
+        assert_eq!(digest.lines().filter(|l| l.starts_with("unit ")).count(), 40);
+        assert_eq!(digest.lines().filter(|l| l.starts_with("dest ")).count(), 40);
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! byte-identical for any worker count, and `workers` is a pure
 //! performance knob (the property `tests/worker_invariance.rs` pins).
 
+use std::net::Ipv4Addr;
+
 use crossbeam_deque::{Steal, Stealer, Worker};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -21,6 +23,7 @@ use pt_anomaly::{compare, CampaignAccumulator, ComparisonReport, ToolReport};
 use pt_core::{
     trace_with, ClassicUdp, MeasuredRoute, ParisUdp, StrategyId, TraceConfig, TraceScratch,
 };
+use pt_mda::{discover_with, BalancerClass, MdaConfig, MdaScratch};
 use pt_netsim::routing::NextHop;
 use pt_netsim::time::SimDuration;
 use pt_netsim::{SimTransport, SimulatorPool};
@@ -418,6 +421,327 @@ fn schedule_dynamics(
     }
 }
 
+// ---------------------------------------------------------------------
+// The multipath campaign mode: MDA per destination over the same
+// work-stealing (destination, round) pool.
+// ---------------------------------------------------------------------
+
+/// Multipath-campaign parameters: run windowed MDA discovery toward
+/// every destination, `rounds` times, over the work-stealing pool. The
+/// same determinism guarantee as the side-by-side campaign holds: every
+/// draw derives from `(seed, destination, round)`, so the
+/// [`crate::report::multipath_digest`] is byte-identical for any worker
+/// count.
+#[derive(Debug, Clone)]
+pub struct MultipathConfig {
+    /// Discovery rounds per destination (one is usually enough — the
+    /// stopping rule already bounds the per-hop miss probability).
+    pub rounds: usize,
+    /// Worker threads claiming `(destination, round)` units. Purely a
+    /// performance knob: results are bit-identical for any value.
+    pub workers: usize,
+    /// Per-destination MDA parameters. The flow family's base source
+    /// port and destination port are drawn per unit from the campaign
+    /// seed (the study's [10000, 60000] discipline) and override the
+    /// ports set here.
+    pub mda: MdaConfig,
+    /// Campaign-level seed.
+    pub seed: u64,
+}
+
+impl Default for MultipathConfig {
+    fn default() -> Self {
+        MultipathConfig {
+            rounds: 1,
+            workers: 8,
+            // Campaign-grade confidence: the per-hop stopping rule at
+            // the MDA paper's alpha = 0.05 misses an interface at ~3-5%
+            // of balanced hops by design (that *is* alpha), which
+            // compounds over a campaign's whole destination list.
+            // alpha = 0.01 costs ~3 extra probes per hop and brings
+            // full-recovery accuracy against planted ground truth above
+            // the 95% acceptance floor.
+            mda: MdaConfig { alpha: 0.01, ..MdaConfig::default() },
+            seed: 20061025,
+        }
+    }
+}
+
+/// What one `(destination, round)` discovery unit found — the scalar
+/// summary of its [`pt_mda::MultipathMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitDiscovery {
+    /// Destination index into [`SyntheticInternet::dests`].
+    pub dest: usize,
+    /// Round number.
+    pub round: usize,
+    /// The probed address.
+    pub addr: Ipv4Addr,
+    /// Maximum confident (converged) hop width.
+    pub width: usize,
+    /// Maximum observed hop width, converged or not.
+    pub observed_width: usize,
+    /// Discovered branch-length delta.
+    pub delta: u8,
+    /// Aggregate balancer classification.
+    pub class: BalancerClass,
+    /// Hops walked.
+    pub hops: usize,
+    /// Directed DAG links discovered.
+    pub links: usize,
+    /// Committed stars across all hops.
+    pub stars: usize,
+    /// Hops whose stopping rule did not converge.
+    pub unconverged_hops: usize,
+    /// Probes spent.
+    pub probes: usize,
+    /// The destination itself answered.
+    pub reached: bool,
+}
+
+/// Per-destination view merged across rounds: widths/deltas take the
+/// maximum, classification takes the strongest evidence (per-packet
+/// dominates per-flow dominates undetermined), probes accumulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DestMultipath {
+    /// Destination index into [`SyntheticInternet::dests`].
+    pub dest: usize,
+    /// The probed address.
+    pub addr: Ipv4Addr,
+    /// Maximum confident width over rounds.
+    pub width: usize,
+    /// Maximum observed width over rounds.
+    pub observed_width: usize,
+    /// Maximum discovered delta over rounds.
+    pub delta: u8,
+    /// Merged classification.
+    pub class: BalancerClass,
+    /// Total probes over rounds.
+    pub probes: usize,
+    /// Reached in any round.
+    pub reached: bool,
+}
+
+/// Aggregate multipath-campaign statistics — the discovery counterpart
+/// of the anomaly [`ToolReport`], rendered next to it by
+/// [`crate::report::render_multipath_report`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultipathReport {
+    /// Destinations probed.
+    pub destinations: usize,
+    /// Rounds per destination.
+    pub rounds: usize,
+    /// Destinations with at least one balanced hop discovered.
+    pub balanced_dests: usize,
+    /// Destinations classified per-flow.
+    pub per_flow_dests: usize,
+    /// Destinations classified per-packet.
+    pub per_packet_dests: usize,
+    /// Balanced destinations whose classification stayed undetermined.
+    pub undetermined_dests: usize,
+    /// Destinations that answered a probe themselves.
+    pub reached_dests: usize,
+    /// Histogram of confident widths 2, 3 and ≥ 4 over destinations.
+    pub width_hist: [usize; 3],
+    /// Histogram of discovered deltas 0, 1 and ≥ 2 over *balanced*
+    /// destinations.
+    pub delta_hist: [usize; 3],
+    /// Mean probes per destination (all rounds).
+    pub mean_probes: f64,
+}
+
+/// Multipath campaign output.
+#[derive(Debug, Clone)]
+pub struct MultipathResult {
+    /// Raw per-unit discoveries, in round-major unit order regardless
+    /// of worker count.
+    pub units: Vec<UnitDiscovery>,
+    /// Per-destination merged view, in destination order.
+    pub per_dest: Vec<DestMultipath>,
+    /// Aggregate statistics over `per_dest`.
+    pub report: MultipathReport,
+    /// Mean virtual probing seconds per destination (summed over its
+    /// rounds); the figure the windowed engine divides.
+    pub mean_virtual_secs: f64,
+}
+
+fn stronger_class(a: BalancerClass, b: BalancerClass) -> BalancerClass {
+    use BalancerClass::*;
+    match (a, b) {
+        (PerPacket, _) | (_, PerPacket) => PerPacket,
+        (PerFlow, _) | (_, PerFlow) => PerFlow,
+        (Undetermined, _) | (_, Undetermined) => Undetermined,
+        _ => NotBalanced,
+    }
+}
+
+/// Run a multipath-discovery campaign over `net`: windowed MDA toward
+/// every destination, on the same seed-derived, work-stealing
+/// `(destination, round)` pool as [`run`].
+pub fn run_multipath(net: &SyntheticInternet, config: &MultipathConfig) -> MultipathResult {
+    assert!(config.workers >= 1 && config.rounds >= 1);
+    // Validated here, not deep inside a worker thread: the per-unit
+    // port draw needs room for every flow id above a base in the
+    // study's [10000, 60000] range, and one walk's probes must fit the
+    // 15-bit probe-id space.
+    assert!(
+        (1..=4096).contains(&config.mda.max_flows_per_hop),
+        "MultipathConfig: max_flows_per_hop must be in 1..=4096, got {}",
+        config.mda.max_flows_per_hop
+    );
+    let n_dests = net.dests.len();
+    let n_units = n_dests * config.rounds;
+    assert!(u32::try_from(n_units).is_ok(), "campaign too large for u32 unit ids");
+    let workers = config.workers.min(n_units).max(1);
+
+    let locals: Vec<Worker<UnitId>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<UnitId>> = locals.iter().map(Worker::stealer).collect();
+    for unit in 0..n_units {
+        locals[unit % workers].push(unit as UnitId);
+    }
+
+    type TaggedUnit = (UnitId, UnitDiscovery, f64);
+    let outputs: Vec<Vec<TaggedUnit>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = locals
+            .into_iter()
+            .enumerate()
+            .map(|(worker_idx, local)| {
+                let stealers = &stealers;
+                let config = &*config;
+                scope.spawn(move || {
+                    let mut pool = SimulatorPool::new(net.topology.clone());
+                    let mut scratch = MdaScratch::new();
+                    let mut out = Vec::new();
+                    while let Some(unit) = next_unit(worker_idx, &local, stealers) {
+                        out.push(run_multipath_unit(unit, net, config, &mut pool, &mut scratch));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    let mut tagged: Vec<TaggedUnit> = outputs.into_iter().flatten().collect();
+    tagged.sort_by_key(|(unit, _, _)| *unit);
+    let total_virtual: f64 = tagged.iter().map(|(_, _, v)| v).sum();
+    let units: Vec<UnitDiscovery> = tagged.into_iter().map(|(_, u, _)| u).collect();
+
+    // Merge rounds into the per-destination view (units are sorted
+    // round-major, so iterating them folds rounds in round order).
+    let mut per_dest: Vec<DestMultipath> = net
+        .dests
+        .iter()
+        .enumerate()
+        .map(|(i, d)| DestMultipath {
+            dest: i,
+            addr: d.addr,
+            width: 0,
+            observed_width: 0,
+            delta: 0,
+            class: BalancerClass::NotBalanced,
+            probes: 0,
+            reached: false,
+        })
+        .collect();
+    for u in &units {
+        let d = &mut per_dest[u.dest];
+        d.width = d.width.max(u.width);
+        d.observed_width = d.observed_width.max(u.observed_width);
+        d.delta = d.delta.max(u.delta);
+        d.class = stronger_class(d.class, u.class);
+        d.probes += u.probes;
+        d.reached |= u.reached;
+    }
+
+    let mut report = MultipathReport {
+        destinations: n_dests,
+        rounds: config.rounds,
+        balanced_dests: 0,
+        per_flow_dests: 0,
+        per_packet_dests: 0,
+        undetermined_dests: 0,
+        reached_dests: 0,
+        width_hist: [0; 3],
+        delta_hist: [0; 3],
+        mean_probes: 0.0,
+    };
+    let mut probes_total = 0usize;
+    for d in &per_dest {
+        probes_total += d.probes;
+        report.reached_dests += usize::from(d.reached);
+        match d.class {
+            BalancerClass::NotBalanced => continue,
+            BalancerClass::PerFlow => report.per_flow_dests += 1,
+            BalancerClass::PerPacket => report.per_packet_dests += 1,
+            BalancerClass::Undetermined => report.undetermined_dests += 1,
+        }
+        report.balanced_dests += 1;
+        if d.width >= 2 {
+            report.width_hist[(d.width - 2).min(2)] += 1;
+        }
+        report.delta_hist[usize::from(d.delta).min(2)] += 1;
+    }
+    report.mean_probes = probes_total as f64 / n_dests.max(1) as f64;
+
+    MultipathResult {
+        units,
+        per_dest,
+        report,
+        mean_virtual_secs: total_virtual / n_dests.max(1) as f64,
+    }
+}
+
+/// One multipath unit: a full MDA walk toward one destination over a
+/// pristine simulator, every draw derived from `(seed, dest, round)`.
+fn run_multipath_unit(
+    unit: UnitId,
+    net: &SyntheticInternet,
+    config: &MultipathConfig,
+    pool: &mut SimulatorPool,
+    scratch: &mut MdaScratch,
+) -> (UnitId, UnitDiscovery, f64) {
+    let n_dests = net.dests.len();
+    let dest_idx = unit as usize % n_dests;
+    let round = unit as usize / n_dests;
+    let dest = &net.dests[dest_idx];
+
+    let dest_stream = splitmix64(config.seed ^ splitmix64(dest_idx as u64 + 1));
+    let unit_stream = splitmix64(dest_stream ^ (round as u64 + 1));
+    let mut rng = StdRng::seed_from_u64(unit_stream);
+    let sim = pool.acquire(splitmix64(unit_stream ^ 0x6d64_6121));
+    let mut tx = SimTransport::new(sim, net.source);
+
+    // The study's port discipline: draw the flow family's base source
+    // port and the destination port uniformly, leaving room above the
+    // base for every flow id.
+    let max_flows = config.mda.max_flows_per_hop as u16;
+    let base_src_port = rng.gen_range(10_000..=60_000u16.saturating_sub(max_flows));
+    let dst_port = rng.gen_range(10_000..=60_000);
+    let mda = MdaConfig { base_src_port, dst_port, ..config.mda };
+    let map = discover_with(&mut tx, dest.addr, &mda, scratch);
+
+    let discovery = UnitDiscovery {
+        dest: dest_idx,
+        round,
+        addr: dest.addr,
+        width: map.max_width(),
+        observed_width: map.max_observed_width(),
+        delta: map.discovered_delta(),
+        class: map.classification(),
+        hops: map.hops.len(),
+        links: map.links.len(),
+        stars: map.hops.iter().map(|h| h.stars).sum(),
+        unconverged_hops: map.hops.iter().filter(|h| !h.converged).count(),
+        probes: map.total_probes,
+        reached: map.reached,
+    };
+    scratch.recycle(map);
+    let virtual_secs = tx.now().as_secs_f64();
+    pool.release(tx.into_simulator());
+    (unit, discovery, virtual_secs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -573,6 +897,97 @@ mod tests {
         let pf =
             result.comparison.loop_pct(pt_anomaly::stats::FinalLoopCause::PerFlowLoadBalancing);
         assert!(pf > 80.0, "per-flow share {pf}");
+    }
+
+    #[test]
+    fn multipath_campaign_discovers_the_balancer_population() {
+        let net = generate(&InternetConfig::tiny(42));
+        let result = run_multipath(&net, &MultipathConfig { workers: 4, ..Default::default() });
+        assert_eq!(result.per_dest.len(), 40);
+        assert_eq!(result.units.len(), 40);
+        let truth_balanced = net.dests.iter().filter(|d| d.truth.has_balancer()).count();
+        assert!(truth_balanced > 0, "tiny(42) must plant balancers");
+        assert!(
+            result.report.balanced_dests >= truth_balanced * 9 / 10,
+            "discovered {} of {truth_balanced} balancers",
+            result.report.balanced_dests
+        );
+        assert!(result.report.per_flow_dests >= result.report.per_packet_dests);
+        assert!(result.mean_virtual_secs > 0.0);
+        assert!(result.report.mean_probes > 0.0);
+    }
+
+    #[test]
+    fn multipath_worker_count_is_a_pure_performance_knob() {
+        let net = generate(&InternetConfig::tiny(42));
+        let digest = |workers: usize| {
+            let config = MultipathConfig { rounds: 2, workers, seed: 7, ..Default::default() };
+            crate::report::multipath_digest(&run_multipath(&net, &config))
+        };
+        let baseline = digest(1);
+        for workers in [3, 16, 1000] {
+            assert_eq!(digest(workers), baseline, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn windowed_multipath_discovers_sequential_dags_in_less_virtual_time() {
+        // On a deterministic network (no loss, no per-packet balancing)
+        // the probing window is a pure virtual-time knob: every unit's
+        // discovery — width, delta, class, hops, links, stars — must be
+        // identical, while the probing time per destination collapses.
+        let config = InternetConfig {
+            seed: 31,
+            n_destinations: 40,
+            per_flow_lb: 0.5,
+            lb_delta1_weight: 0.3,
+            per_packet_lb: 0.0,
+            zero_ttl: 0.05,
+            broken: 0.05,
+            nat: 0.05,
+            firewalled_dest: 0.15,
+            silent_router: 0.05,
+            link_loss: 0.0,
+            ..InternetConfig::default()
+        };
+        let net = generate(&config);
+        let campaign = |window: u8| {
+            let mut mc = MultipathConfig { workers: 4, seed: 3, ..Default::default() };
+            mc.mda.window = window;
+            run_multipath(&net, &mc)
+        };
+        let sequential = campaign(1);
+        let windowed = campaign(MdaConfig::default().window);
+        let dag = |r: &MultipathResult| {
+            r.units
+                .iter()
+                .map(|u| {
+                    // Everything but probe counts, which legitimately
+                    // include window-dependent speculation.
+                    (
+                        u.dest,
+                        u.width,
+                        u.observed_width,
+                        u.delta,
+                        u.class,
+                        u.hops,
+                        u.links,
+                        u.stars,
+                        u.unconverged_hops,
+                        u.reached,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(dag(&windowed), dag(&sequential), "window changed a discovered DAG");
+        let cut = sequential.mean_virtual_secs / windowed.mean_virtual_secs;
+        assert!(
+            cut >= 1.5,
+            "windowed MDA must cut virtual secs/destination >= 1.5x, got {cut:.2}x \
+             ({:.2}s -> {:.2}s)",
+            sequential.mean_virtual_secs,
+            windowed.mean_virtual_secs
+        );
     }
 
     #[test]

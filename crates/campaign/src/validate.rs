@@ -12,7 +12,10 @@ use std::net::Ipv4Addr;
 use pt_anomaly::r#loop::LoopCause;
 use pt_anomaly::{find_loops, CampaignAccumulator};
 use pt_core::{MeasuredRoute, StrategyId};
+use pt_mda::BalancerClass;
 use pt_topogen::SyntheticInternet;
+
+use crate::runner::MultipathResult;
 
 /// Precision/recall for one cause classifier.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -127,6 +130,85 @@ pub fn validate_causes(
         unreachability: score(&flagged_unreach, &|t| t.broken),
         per_flow: score(&flagged_per_flow, &|t| t.per_flow_lb && t.lb_delta >= 1),
     }
+}
+
+/// Multipath discovery scored against the generator's planted
+/// balancers ([`pt_topogen::DestTruth`]): of the destinations that
+/// carry one, how many did MDA recover — width, branch-length delta
+/// *and* per-flow/per-packet class — and did any plain destination get
+/// flagged as balanced?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultipathScore {
+    /// Destinations the generator gave a balancer.
+    pub balancer_dests: usize,
+    /// Destinations without one.
+    pub plain_dests: usize,
+    /// Balancer destinations whose discovery shows a balanced hop.
+    pub discovered: usize,
+    /// ... whose confident width equals the planted `lb_width`.
+    pub width_correct: usize,
+    /// ... whose discovered delta equals the planted `lb_delta`.
+    pub delta_correct: usize,
+    /// ... classified per-flow/per-packet matching the planted kind.
+    pub class_correct: usize,
+    /// Balancer destinations where all three match.
+    pub full_matches: usize,
+    /// Plain destinations falsely flagged as balanced (any class other
+    /// than `NotBalanced`).
+    pub false_balancers: usize,
+}
+
+impl MultipathScore {
+    /// Fraction of balancer destinations fully recovered (width, delta
+    /// and class all correct). 1.0 when the network has no balancers.
+    pub fn accuracy(&self) -> f64 {
+        if self.balancer_dests == 0 {
+            1.0
+        } else {
+            self.full_matches as f64 / self.balancer_dests as f64
+        }
+    }
+}
+
+/// Score a multipath campaign against the generator's ground truth.
+pub fn validate_multipath(net: &SyntheticInternet, result: &MultipathResult) -> MultipathScore {
+    let mut score = MultipathScore {
+        balancer_dests: 0,
+        plain_dests: 0,
+        discovered: 0,
+        width_correct: 0,
+        delta_correct: 0,
+        class_correct: 0,
+        full_matches: 0,
+        false_balancers: 0,
+    };
+    for d in &result.per_dest {
+        let truth = &net.dests[d.dest].truth;
+        match truth.balancer() {
+            None => {
+                score.plain_dests += 1;
+                if d.class != BalancerClass::NotBalanced {
+                    score.false_balancers += 1;
+                }
+            }
+            Some((width, delta, per_packet)) => {
+                score.balancer_dests += 1;
+                if d.class == BalancerClass::NotBalanced {
+                    continue;
+                }
+                score.discovered += 1;
+                let width_ok = d.width == usize::from(width);
+                let delta_ok = d.delta == delta;
+                let class_ok = d.class
+                    == if per_packet { BalancerClass::PerPacket } else { BalancerClass::PerFlow };
+                score.width_correct += usize::from(width_ok);
+                score.delta_correct += usize::from(delta_ok);
+                score.class_correct += usize::from(class_ok);
+                score.full_matches += usize::from(width_ok && delta_ok && class_ok);
+            }
+        }
+    }
+    score
 }
 
 #[cfg(test)]

@@ -97,7 +97,12 @@ pub trait ProbeStrategy {
 
 /// Pull the quotation out of an ICMP error response, if the response is
 /// one and the quoted packet was ours (same destination).
-pub(crate) fn quotation_for(dst: Ipv4Addr, response: &Packet) -> Option<&Quotation> {
+///
+/// Shared probe-attribution helper: every strategy in this crate — and
+/// external probing engines such as `pt-mda`'s multipath walker — uses
+/// this to recover the header fields of the probe a Time Exceeded /
+/// Destination Unreachable is answering.
+pub fn quotation_for(dst: Ipv4Addr, response: &Packet) -> Option<&Quotation> {
     let q = match &response.transport {
         Wire::Icmp(IcmpMessage::TimeExceeded { quotation }) => quotation,
         Wire::Icmp(IcmpMessage::DestUnreachable { quotation, .. }) => quotation,
@@ -107,12 +112,12 @@ pub(crate) fn quotation_for(dst: Ipv4Addr, response: &Packet) -> Option<&Quotati
 }
 
 /// Read a big-endian u16 out of a quoted transport prefix.
-pub(crate) fn prefix_u16(prefix: &[u8; 8], offset: usize) -> u16 {
+pub fn prefix_u16(prefix: &[u8; 8], offset: usize) -> u16 {
     u16::from_be_bytes([prefix[offset], prefix[offset + 1]])
 }
 
 /// Read a big-endian u32 out of a quoted transport prefix.
-pub(crate) fn prefix_u32(prefix: &[u8; 8], offset: usize) -> u32 {
+pub fn prefix_u32(prefix: &[u8; 8], offset: usize) -> u32 {
     u32::from_be_bytes([prefix[offset], prefix[offset + 1], prefix[offset + 2], prefix[offset + 3]])
 }
 

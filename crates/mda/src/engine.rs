@@ -1,0 +1,755 @@
+//! The windowed multipath-discovery engine.
+//!
+//! [`discover_with`] walks TTL by TTL toward a destination, varying the
+//! *flow identifier* (UDP source port — a genuine five-tuple field)
+//! across probes at each TTL until the MDA stopping rule
+//! ([`crate::probes_to_rule_out`]) says every interface at that hop has
+//! been seen with high probability. Flow identifiers are **reused
+//! across TTLs**: the interface flow `f` revealed at hop `h` and the
+//! one it revealed at `h + 1` are endpoints of a directed link, so the
+//! walk recovers the interface-level DAG — including unequal-length
+//! diamonds, whose merge interface surfaces at several TTLs (the
+//! [`crate::MultipathMap::discovered_delta`] convergence signal) —
+//! rather than flat per-hop sets.
+//!
+//! # Windowing
+//!
+//! Up to [`MdaConfig::window`] probes stay in flight at once, the same
+//! registry/`try_recv` discipline `pt_core::trace_with` uses: probes
+//! launch in a deterministic `(TTL, flow, retry)` priority order,
+//! retire by the probe id recovered from each response (never "the
+//! probe most recently sent"), and every stopping decision is taken
+//! over a hop's *committed prefix* — its flow results folded strictly
+//! in flow order. Results a wider window speculatively gathered past
+//! the point where the stopping rule fires are discarded, as are hops
+//! speculated past the terminal hop or the consecutive-star limit, so
+//! on deterministic networks a windowed walk discovers the
+//! byte-identical DAG a sequential (`window = 1`) walk discovers —
+//! only faster in virtual time.
+//!
+//! # Classification
+//!
+//! The moment a hop's enumeration finishes with two or more
+//! interfaces — converged or not; a starred balanced hop still holds a
+//! real balancer worth classifying — the engine launches a fixed-flow
+//! re-probe batch at that TTL *inline* (it rides the same window as
+//! ongoing enumeration of deeper hops): a per-flow balancer pins the
+//! responder, a per-packet balancer scatters it ([`BalancerClass`]).
+//!
+//! # Non-responses
+//!
+//! A flow whose probe times out is retried up to
+//! [`MdaConfig::flow_retries`] times before being committed as a
+//! *star*. Stars are first-class: they are counted per hop, they do
+//! not feed the stopping rule's "nothing new" streak (a non-answer is
+//! not evidence that the seen set is complete), and any star in the
+//! committed prefix marks the hop as *not converged* — a silent router
+//! inside a balanced hop is visible as non-convergence instead of
+//! silently under-counting the hop's width.
+
+use std::net::Ipv4Addr;
+
+use pt_core::{prefix_u16, quotation_for, Transport};
+use pt_netsim::time::{SimDuration, SimTime};
+use pt_wire::ipv4::{protocol, Ipv4Header};
+use pt_wire::{IcmpMessage, Packet, Transport as Wire, UdpDatagram};
+
+use crate::map::{BalancerClass, DagLink, HopInterfaces, MultipathMap};
+use crate::rule::RuleTable;
+
+/// MDA parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct MdaConfig {
+    /// Miss probability bound per hop (the stopping rule's confidence
+    /// is `1 - alpha`).
+    pub alpha: f64,
+    /// Hard cap on flows tried per hop.
+    pub max_flows_per_hop: usize,
+    /// Maximum TTL to walk.
+    pub max_ttl: u8,
+    /// Per-probe timeout.
+    pub timeout: SimDuration,
+    /// Give up after this many consecutive all-star hops.
+    pub max_consecutive_stars: u8,
+    /// Probes kept in flight at once. `1` reproduces the strictly
+    /// sequential send→wait→timeout walk; wider windows overlap probes
+    /// within and across hops and cut virtual probing time while
+    /// discovering the identical DAG on deterministic networks.
+    pub window: u8,
+    /// Times a silent flow is re-probed before it is committed as a
+    /// star (loss robustness; a genuinely silent interface still stars
+    /// after every retry).
+    pub flow_retries: u8,
+    /// Size of the fixed-flow re-probe batch that classifies a
+    /// converged balanced hop as per-flow vs per-packet.
+    pub classify_repeats: u8,
+    /// Source port of flow 0; flow `f` probes from `base_src_port + f`.
+    pub base_src_port: u16,
+    /// Fixed destination port (the five-tuple's other half).
+    pub dst_port: u16,
+}
+
+impl Default for MdaConfig {
+    fn default() -> Self {
+        MdaConfig {
+            alpha: 0.05,
+            max_flows_per_hop: 64,
+            max_ttl: 39,
+            timeout: SimDuration::from_secs(2),
+            max_consecutive_stars: 3,
+            window: 8,
+            flow_retries: 2,
+            classify_repeats: 8,
+            base_src_port: 40_000,
+            dst_port: 33_435,
+        }
+    }
+}
+
+impl MdaConfig {
+    /// This configuration with `window = 1`: the strictly sequential
+    /// walk (one probe in flight, hop by hop).
+    pub fn sequential(self) -> Self {
+        MdaConfig { window: 1, ..self }
+    }
+}
+
+/// Probe ids live in the 15 low bits of the pinned checksum; one walk
+/// never issues more than this many probes (enforced as a launch gate),
+/// so an id is never live twice and responses cannot mis-attribute.
+const ID_SPACE: u16 = 0x7fff;
+
+/// The per-probe identifier rides in the pinned UDP checksum; the high
+/// bit marks "one of ours" and keeps the pinned value nonzero.
+fn tag_of(id: u16) -> u16 {
+    0x8000 | (id & ID_SPACE)
+}
+
+fn build_probe(
+    config: &MdaConfig,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    ttl: u8,
+    flow: u16,
+    id: u16,
+    payload: Vec<u8>,
+) -> Packet {
+    let mut ip = Ipv4Header::new(src, dst, protocol::UDP, ttl);
+    ip.total_length = (pt_wire::ipv4::HEADER_LEN + pt_wire::udp::HEADER_LEN + 2) as u16;
+    let udp = UdpDatagram::with_pinned_checksum_in(
+        config.base_src_port.wrapping_add(flow),
+        config.dst_port,
+        tag_of(id),
+        2,
+        &ip,
+        payload,
+    );
+    Packet::new(ip, Wire::Udp(udp))
+}
+
+/// Recover the probe id a response answers, if it answers one of this
+/// walk's probes at all. Works for both mid-path ICMP errors and the
+/// terminal Port Unreachable, which all quote the probe's UDP header.
+fn match_response(config: &MdaConfig, dst: Ipv4Addr, response: &Packet) -> Option<u16> {
+    let q = quotation_for(dst, response)?;
+    if q.ip.protocol != protocol::UDP {
+        return None;
+    }
+    if prefix_u16(&q.transport_prefix, 2) != config.dst_port {
+        return None;
+    }
+    let sp = prefix_u16(&q.transport_prefix, 0);
+    let flow = sp.wrapping_sub(config.base_src_port);
+    if usize::from(flow) >= config.max_flows_per_hop {
+        return None;
+    }
+    let ck = prefix_u16(&q.transport_prefix, 6);
+    (ck & 0x8000 != 0).then_some(ck & ID_SPACE)
+}
+
+fn is_terminal(dst: Ipv4Addr, response: &Packet) -> bool {
+    response.ip.src == dst
+        || matches!(&response.transport, Wire::Icmp(IcmpMessage::DestUnreachable { .. }))
+}
+
+/// One flow's probing state at one hop.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    /// A probe for this flow is in flight; `retries_left` more probes
+    /// may follow if it times out.
+    InFlight { retries_left: u8 },
+    /// The last probe timed out but retries remain; the launcher will
+    /// re-probe this flow before opening new ones.
+    AwaitingRetry { retries_left: u8 },
+    /// The flow got an answer.
+    Answered { addr: Ipv4Addr, terminal: bool },
+    /// The flow never answered, retries included.
+    Star,
+}
+
+/// Per-hop walk state. Lives in [`MdaScratch`] and is reused (inner
+/// vectors keep their capacity) across walks.
+#[derive(Debug, Default)]
+struct HopState {
+    ttl: u8,
+    slots: Vec<Slot>,
+    /// Leading slots folded into the rule state, strictly in flow order.
+    committed: usize,
+    /// Distinct committed interfaces, in first-seen order.
+    interfaces: Vec<Ipv4Addr>,
+    /// Committed `(flow, responder)` evidence.
+    flows: Vec<(u16, Ipv4Addr)>,
+    stars: usize,
+    answered: usize,
+    terminals: usize,
+    probes_sent: usize,
+    enum_done: bool,
+    converged: bool,
+    classify_target: usize,
+    class_launched: usize,
+    class_resolved: usize,
+    class_answered: usize,
+    class_addrs: Vec<Ipv4Addr>,
+}
+
+impl HopState {
+    fn reset(&mut self, ttl: u8) {
+        self.ttl = ttl;
+        self.slots.clear();
+        self.committed = 0;
+        self.interfaces.clear();
+        self.flows.clear();
+        self.stars = 0;
+        self.answered = 0;
+        self.terminals = 0;
+        self.probes_sent = 0;
+        self.enum_done = false;
+        self.converged = false;
+        self.classify_target = 0;
+        self.class_launched = 0;
+        self.class_resolved = 0;
+        self.class_answered = 0;
+        self.class_addrs.clear();
+    }
+
+    /// Flows this hop's enumeration wants launched in total, given the
+    /// committed evidence so far: enough that — if every pending probe
+    /// lands on the seen set — the stopping rule fires exactly at the
+    /// last one. Grows when new interfaces (or stars, which carry no
+    /// evidence) commit; never shrinks below what was already launched.
+    fn target(&self, rule: &mut RuleTable, config: &MdaConfig) -> usize {
+        if self.enum_done {
+            return self.slots.len();
+        }
+        let k = self.interfaces.len();
+        let t = if k == 0 {
+            // No interface yet: an all-silent hop is abandoned after as
+            // many flows as would rule out a *second* interface had one
+            // answered — the rule's own scale, not the full flow budget.
+            rule.get(1)
+        } else {
+            // The rule bounds *answered* probes at the hop (the MDA
+            // table's n_k is a total, discovery probes included);
+            // committed stars inflate the flow count but carry no
+            // evidence, so each one pushes the target out by one.
+            self.committed + (rule.get(k) - self.answered)
+        };
+        t.min(config.max_flows_per_hop)
+    }
+
+    /// Fold resolved leading slots into the rule state and take the
+    /// stopping decision. Called whenever a slot resolves.
+    fn commit(&mut self, rule: &mut RuleTable, config: &MdaConfig) {
+        while !self.enum_done && self.committed < self.slots.len() {
+            match self.slots[self.committed] {
+                Slot::Answered { addr, terminal } => {
+                    self.flows.push((self.committed as u16, addr));
+                    if !self.interfaces.contains(&addr) {
+                        self.interfaces.push(addr);
+                    }
+                    self.answered += 1;
+                    if terminal {
+                        self.terminals += 1;
+                    }
+                }
+                Slot::Star => self.stars += 1,
+                Slot::InFlight { .. } | Slot::AwaitingRetry { .. } => break,
+            }
+            self.committed += 1;
+            let k = self.interfaces.len();
+            if k >= 1 && self.answered >= rule.get(k) {
+                self.enum_done = true;
+                self.converged = self.stars == 0;
+            } else if k == 0 && self.committed >= rule.get(1) {
+                self.enum_done = true; // all-star hop: give up early
+            } else if self.committed >= config.max_flows_per_hop {
+                self.enum_done = true; // flow budget exhausted
+            }
+        }
+        if self.enum_done && self.classify_target == 0 && self.interfaces.len() >= 2 {
+            self.classify_target = usize::from(config.classify_repeats);
+        }
+    }
+
+    /// Every committed answer was terminal (and there was at least
+    /// one): this hop is the end of the walk.
+    fn terminal_complete(&self) -> bool {
+        self.answered > 0 && self.terminals == self.answered
+    }
+
+    /// Enumeration and the inline classification batch are both done;
+    /// the hop can be finalized in TTL order. Speculative enumeration
+    /// probes past the committed prefix may still be in flight — their
+    /// answers are discarded, so they need not be waited for.
+    fn finalized(&self) -> bool {
+        self.enum_done
+            && self.class_launched == self.classify_target
+            && self.class_resolved == self.classify_target
+    }
+
+    fn class(&self) -> BalancerClass {
+        if self.interfaces.len() < 2 {
+            BalancerClass::NotBalanced
+        } else if self.class_answered < 2 {
+            BalancerClass::Undetermined
+        } else if self.class_addrs.len() > 1 {
+            BalancerClass::PerPacket
+        } else {
+            BalancerClass::PerFlow
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum ProbeKind {
+    Enumerate { flow: u16 },
+    Classify,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RegEntry {
+    id: u16,
+    hop: usize,
+    kind: ProbeKind,
+    deadline: SimTime,
+}
+
+/// What the launch scan decided to send next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Launch {
+    Retry { hop: usize, flow: u16 },
+    NewFlow { hop: usize },
+    Classify { hop: usize },
+    OpenHop,
+}
+
+const RECORD_POOL_CAP: usize = 64;
+
+/// Reusable per-walk bookkeeping: the outstanding-probe registry, the
+/// per-hop walk states, the stopping-rule memo, and pools of result
+/// vectors harvested from finished maps. A caller that keeps one
+/// `MdaScratch` across walks — recycling each consumed
+/// [`MultipathMap`] back into it — runs [`discover_with`] with zero
+/// steady-state heap allocation.
+#[derive(Debug, Default)]
+pub struct MdaScratch {
+    registry: Vec<RegEntry>,
+    states: Vec<HopState>,
+    rule: RuleTable,
+    record_pool: Vec<HopInterfaces>,
+    hops_pool: Vec<Vec<HopInterfaces>>,
+    links_pool: Vec<Vec<DagLink>>,
+}
+
+impl MdaScratch {
+    /// Empty scratch; warms up over the first walk.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Harvest a finished map's vectors for reuse by later walks. Call
+    /// this instead of dropping maps you have finished reading.
+    pub fn recycle(&mut self, map: MultipathMap) {
+        let mut hops = map.hops;
+        for hop in hops.drain(..) {
+            if self.record_pool.len() < RECORD_POOL_CAP {
+                self.record_pool.push(hop);
+            }
+        }
+        if self.hops_pool.len() < 4 {
+            self.hops_pool.push(hops);
+        }
+        if self.links_pool.len() < 4 {
+            let mut links = map.links;
+            links.clear();
+            self.links_pool.push(links);
+        }
+    }
+
+    fn take_record(&mut self, ttl: u8) -> HopInterfaces {
+        let mut rec = self.record_pool.pop().unwrap_or_else(|| HopInterfaces {
+            ttl,
+            interfaces: Vec::new(),
+            flows: Vec::new(),
+            probes_sent: 0,
+            stars: 0,
+            converged: false,
+            class: BalancerClass::NotBalanced,
+        });
+        rec.ttl = ttl;
+        rec.interfaces.clear();
+        rec.flows.clear();
+        rec.probes_sent = 0;
+        rec.stars = 0;
+        rec.converged = false;
+        rec.class = BalancerClass::NotBalanced;
+        rec
+    }
+}
+
+/// Discover the multipath DAG toward `destination`, allocating fresh
+/// bookkeeping. Prefer [`discover_with`] in loops.
+pub fn discover<T: Transport>(
+    transport: &mut T,
+    destination: Ipv4Addr,
+    config: &MdaConfig,
+) -> MultipathMap {
+    discover_with(transport, destination, config, &mut MdaScratch::new())
+}
+
+/// Discover the multipath DAG toward `destination`, reusing `scratch`
+/// for all per-walk bookkeeping. With a warm scratch and a pooling
+/// transport, the whole probe→response cycle performs no heap
+/// allocation.
+///
+/// Up to [`MdaConfig::window`] probes stay in flight at once (see the
+/// module docs for the windowed semantics); `window = 1` reproduces
+/// the strictly sequential walk, and both discover the identical DAG
+/// on deterministic networks.
+pub fn discover_with<T: Transport>(
+    transport: &mut T,
+    destination: Ipv4Addr,
+    config: &MdaConfig,
+    scratch: &mut MdaScratch,
+) -> MultipathMap {
+    assert!(
+        config.max_flows_per_hop >= 1
+            && config.max_flows_per_hop <= usize::from(u16::MAX - config.base_src_port),
+        "flow ids must fit the source-port space above base_src_port"
+    );
+    let source = transport.source_addr();
+    let window = usize::from(config.window).max(1);
+    scratch.rule.reset(config.alpha);
+    scratch.registry.clear();
+
+    let mut opened = 0usize; // states[..opened] are live this walk
+    let mut frontier = 0usize; // first hop not yet finalized
+    let mut consecutive_stars = 0u8;
+    let mut next_id: u16 = 0;
+    let mut total_probes = 0usize;
+    let kept: usize;
+
+    'drive: loop {
+        // 1. Finalize complete hops in TTL order. Everything the map
+        //    reports — which hops exist, where the walk stops — is
+        //    decided here, so speculative probes cannot change it.
+        while frontier < opened && scratch.states[frontier].finalized() {
+            let h = &scratch.states[frontier];
+            if h.terminal_complete() {
+                kept = frontier + 1;
+                break 'drive;
+            }
+            if h.interfaces.is_empty() {
+                consecutive_stars += 1;
+                if consecutive_stars >= config.max_consecutive_stars {
+                    kept = frontier + 1;
+                    break 'drive;
+                }
+            } else {
+                consecutive_stars = 0;
+            }
+            frontier += 1;
+        }
+
+        // 2. Top up the probe window in deterministic priority order:
+        //    lowest unfinished hop first; within a hop, retries before
+        //    new flows before the classification batch; a new hop opens
+        //    only when no existing hop wants a probe. The 15-bit probe
+        //    id space is a hard launch gate: a (degenerate) walk that
+        //    exhausts it winds down with partial, unconverged hops
+        //    rather than recycling ids into mis-attribution.
+        while scratch.registry.len() < window && total_probes < usize::from(ID_SPACE) {
+            let Some(launch) =
+                next_launch(&scratch.states[..opened], &mut scratch.rule, config, frontier)
+            else {
+                break;
+            };
+            let (hop_idx, flow, retries_left, kind) = match launch {
+                Launch::Retry { hop, flow } => {
+                    let Slot::AwaitingRetry { retries_left } =
+                        scratch.states[hop].slots[usize::from(flow)]
+                    else {
+                        unreachable!("retry launch on a non-retry slot")
+                    };
+                    (hop, flow, retries_left, ProbeKind::Enumerate { flow })
+                }
+                Launch::NewFlow { hop } => {
+                    let flow = scratch.states[hop].slots.len() as u16;
+                    (hop, flow, config.flow_retries, ProbeKind::Enumerate { flow })
+                }
+                Launch::Classify { hop } => {
+                    // Re-probe with the first flow that answered — a
+                    // committed, deterministic choice that avoids
+                    // pinning the batch to a silent branch.
+                    let flow = scratch.states[hop]
+                        .flows
+                        .first()
+                        .map(|&(f, _)| f)
+                        .expect("classification only runs on hops with answers");
+                    (hop, flow, 0, ProbeKind::Classify)
+                }
+                Launch::OpenHop => {
+                    if opened == scratch.states.len() {
+                        scratch.states.push(HopState::default());
+                    }
+                    let ttl = opened as u8 + 1;
+                    scratch.states[opened].reset(ttl);
+                    opened += 1;
+                    continue; // the next scan launches its first flow
+                }
+            };
+            let st = &mut scratch.states[hop_idx];
+            match kind {
+                ProbeKind::Enumerate { .. } => {
+                    let slot = Slot::InFlight { retries_left };
+                    if usize::from(flow) == st.slots.len() {
+                        st.slots.push(slot);
+                    } else {
+                        st.slots[usize::from(flow)] = slot;
+                    }
+                }
+                ProbeKind::Classify => st.class_launched += 1,
+            }
+            st.probes_sent += 1;
+            total_probes += 1;
+            let ttl = st.ttl;
+            let payload = transport.grab_payload();
+            let packet = build_probe(config, source, destination, ttl, flow, next_id, payload);
+            let sent = transport.now();
+            scratch.registry.push(RegEntry {
+                id: next_id,
+                hop: hop_idx,
+                kind,
+                deadline: sent + config.timeout,
+            });
+            next_id = next_id.wrapping_add(1) & ID_SPACE;
+            transport.send(packet);
+        }
+
+        if scratch.registry.is_empty() {
+            // Nothing in flight and nothing launchable: every opened
+            // hop is finalized and the TTL ceiling stops new ones.
+            kept = opened;
+            break;
+        }
+
+        // 3. Resolve whichever in-flight probe settles first: a
+        //    response that already arrived, the next response before
+        //    the earliest outstanding deadline, or that deadline.
+        let delivery = match transport.try_recv() {
+            Some(d) => d,
+            None => {
+                let deadline = scratch
+                    .registry
+                    .iter()
+                    .map(|e| e.deadline)
+                    .min()
+                    .expect("outstanding probes carry deadlines");
+                match transport.recv_until(deadline) {
+                    Some(d) => d,
+                    None => {
+                        // The deadline passed silently: expire every
+                        // probe whose window has closed — stars after
+                        // retries, retries otherwise.
+                        let now = transport.now();
+                        let mut i = 0;
+                        while i < scratch.registry.len() {
+                            if scratch.registry[i].deadline > now {
+                                i += 1;
+                                continue;
+                            }
+                            let e = scratch.registry.swap_remove(i);
+                            let st = &mut scratch.states[e.hop];
+                            match e.kind {
+                                ProbeKind::Enumerate { flow } => {
+                                    let fi = usize::from(flow);
+                                    if st.enum_done && fi >= st.committed {
+                                        continue; // speculative leftover
+                                    }
+                                    let Slot::InFlight { retries_left } = st.slots[fi] else {
+                                        continue;
+                                    };
+                                    st.slots[fi] = if retries_left > 0 {
+                                        Slot::AwaitingRetry { retries_left: retries_left - 1 }
+                                    } else {
+                                        Slot::Star
+                                    };
+                                    st.commit(&mut scratch.rule, config);
+                                }
+                                ProbeKind::Classify => st.class_resolved += 1,
+                            }
+                        }
+                        continue 'drive;
+                    }
+                }
+            }
+        };
+        let (_at, resp) = delivery;
+        let Some(id) = match_response(config, destination, &resp) else {
+            transport.release(resp);
+            continue; // stray packet
+        };
+        let Some(pos) = scratch.registry.iter().position(|e| e.id == id) else {
+            transport.release(resp);
+            continue; // late (already expired) or duplicate
+        };
+        let entry = scratch.registry.swap_remove(pos);
+        let from = resp.ip.src;
+        let terminal = is_terminal(destination, &resp);
+        transport.release(resp);
+        let st = &mut scratch.states[entry.hop];
+        match entry.kind {
+            ProbeKind::Enumerate { flow } => {
+                let fi = usize::from(flow);
+                if st.enum_done && fi >= st.committed {
+                    continue; // speculative result past the stopping point
+                }
+                debug_assert!(matches!(st.slots[fi], Slot::InFlight { .. }));
+                st.slots[fi] = Slot::Answered { addr: from, terminal };
+                st.commit(&mut scratch.rule, config);
+            }
+            ProbeKind::Classify => {
+                st.class_resolved += 1;
+                st.class_answered += 1;
+                if !st.class_addrs.contains(&from) {
+                    st.class_addrs.push(from);
+                }
+            }
+        }
+    }
+
+    // Convert the kept walk states into the result map. Interfaces are
+    // copied (not moved) out of the states so the states keep their
+    // warm capacity for the next walk.
+    let mut hops: Vec<HopInterfaces> = scratch.hops_pool.pop().unwrap_or_default();
+    hops.clear();
+    for i in 0..kept {
+        let mut rec = scratch.take_record(scratch.states[i].ttl);
+        let st = &scratch.states[i];
+        rec.interfaces.extend_from_slice(&st.interfaces);
+        rec.interfaces.sort_unstable();
+        rec.flows.extend_from_slice(&st.flows);
+        rec.probes_sent = st.probes_sent;
+        rec.stars = st.stars;
+        rec.converged = st.converged;
+        rec.class = st.class();
+        hops.push(rec);
+    }
+    let mut links: Vec<DagLink> = scratch.links_pool.pop().unwrap_or_default();
+    links.clear();
+    for i in 1..hops.len() {
+        let (a, b) = (&hops[i - 1], &hops[i]);
+        // Merge-join on flow id (both lists are in flow order).
+        let (mut x, mut y) = (0, 0);
+        while x < a.flows.len() && y < b.flows.len() {
+            match a.flows[x].0.cmp(&b.flows[y].0) {
+                std::cmp::Ordering::Less => x += 1,
+                std::cmp::Ordering::Greater => y += 1,
+                std::cmp::Ordering::Equal => {
+                    links.push(DagLink { from_ttl: a.ttl, from: a.flows[x].1, to: b.flows[y].1 });
+                    x += 1;
+                    y += 1;
+                }
+            }
+        }
+    }
+    links.sort_unstable();
+    links.dedup();
+    let reached = hops.iter().any(|h| h.interfaces.contains(&destination));
+    MultipathMap { destination, hops, links, total_probes, reached }
+}
+
+/// Deterministic launch priority: scan hops from the finalization
+/// frontier; the first hop still enumerating takes retries (lowest
+/// flow first), then new flows up to its current target; a converged
+/// balanced hop takes its classification batch; only when no open hop
+/// wants a probe does a new hop open — and never past a hop already
+/// known to be terminal, nor past the TTL ceiling.
+fn next_launch(
+    states: &[HopState],
+    rule: &mut RuleTable,
+    config: &MdaConfig,
+    frontier: usize,
+) -> Option<Launch> {
+    let mut terminal_known = false;
+    for (i, st) in states.iter().enumerate().skip(frontier) {
+        if !st.enum_done {
+            if let Some(fi) = st.slots.iter().position(|s| matches!(s, Slot::AwaitingRetry { .. }))
+            {
+                return Some(Launch::Retry { hop: i, flow: fi as u16 });
+            }
+            if st.slots.len() < st.target(rule, config) {
+                return Some(Launch::NewFlow { hop: i });
+            }
+        } else if st.class_launched < st.classify_target {
+            return Some(Launch::Classify { hop: i });
+        }
+        terminal_known |= st.enum_done && st.terminal_complete();
+    }
+    if !terminal_known && states.len() < usize::from(config.max_ttl) {
+        return Some(Launch::OpenHop);
+    }
+    None
+}
+
+/// Distinguish per-flow from per-packet balancing at `ttl`: send
+/// `repeats` probes with an identical flow identifier and watch the
+/// responder set. The standalone form of the classification the walk
+/// performs inline; useful for re-probing a known hop.
+pub fn classify_balancer<T: Transport>(
+    transport: &mut T,
+    destination: Ipv4Addr,
+    ttl: u8,
+    repeats: usize,
+    config: &MdaConfig,
+) -> BalancerClass {
+    let source = transport.source_addr();
+    let mut seen: Vec<Ipv4Addr> = Vec::new();
+    let mut answered = 0usize;
+    for i in 0..repeats {
+        let payload = transport.grab_payload();
+        let id = (i & 0x7fff) as u16;
+        let probe = build_probe(config, source, destination, ttl, 0, id, payload);
+        transport.send(probe);
+        let deadline = transport.now() + config.timeout;
+        while let Some((_, resp)) = transport.recv_until(deadline) {
+            let matched = match_response(config, destination, &resp) == Some(id);
+            let from = resp.ip.src;
+            transport.release(resp);
+            if matched {
+                answered += 1;
+                if !seen.contains(&from) {
+                    seen.push(from);
+                }
+                break;
+            }
+        }
+    }
+    if answered < 2 {
+        BalancerClass::Undetermined
+    } else if seen.len() > 1 {
+        BalancerClass::PerPacket
+    } else {
+        BalancerClass::PerFlow
+    }
+}

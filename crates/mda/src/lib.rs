@@ -1,236 +1,45 @@
-//! # pt-mda — multipath detection
+//! # pt-mda — windowed multipath discovery
 //!
 //! The paper's §6 future work: "algorithms to automatically find all
 //! interfaces of a given load balancer, and to differentiate per-flow
 //! from per-packet load balancers" — realized a year later as the
-//! Multipath Detection Algorithm (MDA). This crate implements both
-//! halves over the same [`pt_core::Transport`] the tracer uses:
+//! Multipath Detection Algorithm (MDA). This crate implements it as a
+//! campaign-grade engine over the same [`pt_core::Transport`] the
+//! tracer uses:
 //!
-//! * [`enumerate`] walks hop by hop, varying the *flow identifier*
-//!   (source port — a genuine five-tuple field) across probes at one TTL
-//!   until a statistical stopping rule says all interfaces at that hop
-//!   have been seen with high probability;
-//! * [`classify_balancer`] re-probes one hop with a *fixed* flow
-//!   identifier: a per-flow balancer pins the responder, a per-packet
-//!   balancer scatters it.
+//! * [`discover`] / [`discover_with`] walk the TTL ladder varying the
+//!   *flow identifier* (UDP source port) per probe until the exact
+//!   published stopping rule ([`probes_to_rule_out`]) says every
+//!   interface at a hop has been seen with high probability — keeping
+//!   up to [`MdaConfig::window`] probes outstanding, reusing flow ids
+//!   across TTLs to recover the directed interface-level **DAG**
+//!   ([`MultipathMap::links`]), resolving unequal-length diamonds via
+//!   the merge interface's TTL spread
+//!   ([`MultipathMap::discovered_delta`]), and classifying every
+//!   balanced hop per-flow vs per-packet inline with a fixed-flow
+//!   re-probe batch;
+//! * non-responses are first-class: a silent interface inside a
+//!   balanced hop surfaces as per-hop stars and non-convergence
+//!   ([`HopInterfaces::stars`]) instead of silently shrinking the
+//!   hop's width;
+//! * [`classify_balancer`] re-probes one hop with a fixed flow
+//!   identifier standalone, for callers that already hold a map.
 
 #![warn(missing_docs)]
 
-use std::collections::BTreeSet;
-use std::net::Ipv4Addr;
+mod engine;
+mod map;
+mod rule;
 
-use pt_core::{ParisUdp, ProbeStrategy, Transport};
-use pt_netsim::time::SimDuration;
-
-/// Stopping rule: after observing `k` distinct interfaces at a hop, how
-/// many probes (total, across distinct flows) rule out a `k+1`-th
-/// interface at confidence `1 - alpha` under uniform flow hashing?
-///
-/// If `k + 1` interfaces existed, each new flow would land on the seen
-/// set with probability `k / (k + 1)`; `n` consecutive such landings has
-/// probability `(k/(k+1))^n`, so we need `n ≥ ln(alpha) / ln(k/(k+1))`.
-pub fn probes_to_rule_out(k: usize, alpha: f64) -> usize {
-    assert!(k >= 1, "need at least one observed interface");
-    assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1)");
-    let ratio = k as f64 / (k as f64 + 1.0);
-    (alpha.ln() / ratio.ln()).ceil() as usize
-}
-
-/// One hop's enumeration result.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct HopInterfaces {
-    /// The TTL probed.
-    pub ttl: u8,
-    /// All interfaces discovered at this hop.
-    pub interfaces: BTreeSet<Ipv4Addr>,
-    /// Probes spent on this hop.
-    pub probes_sent: usize,
-    /// Whether the stopping rule was satisfied (false = hit the flow
-    /// budget first).
-    pub converged: bool,
-}
-
-/// The multipath map toward one destination.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct MultipathMap {
-    /// The destination traced.
-    pub destination: Ipv4Addr,
-    /// Per-hop interface sets, starting at TTL 1.
-    pub hops: Vec<HopInterfaces>,
-    /// Total probes spent.
-    pub total_probes: usize,
-}
-
-impl MultipathMap {
-    /// Hops where more than one interface answered — load-balanced hops.
-    pub fn balanced_hops(&self) -> impl Iterator<Item = &HopInterfaces> {
-        self.hops.iter().filter(|h| h.interfaces.len() >= 2)
-    }
-
-    /// The maximum width observed at any hop.
-    pub fn max_width(&self) -> usize {
-        self.hops.iter().map(|h| h.interfaces.len()).max().unwrap_or(0)
-    }
-}
-
-/// MDA parameters.
-#[derive(Debug, Clone, Copy)]
-pub struct MdaConfig {
-    /// Miss probability bound per hop.
-    pub alpha: f64,
-    /// Hard cap on flows tried per hop.
-    pub max_flows_per_hop: usize,
-    /// Maximum TTL to walk.
-    pub max_ttl: u8,
-    /// Per-probe timeout.
-    pub timeout: SimDuration,
-    /// Give up after this many consecutive all-star hops.
-    pub max_consecutive_stars: u8,
-}
-
-impl Default for MdaConfig {
-    fn default() -> Self {
-        MdaConfig {
-            alpha: 0.05,
-            max_flows_per_hop: 64,
-            max_ttl: 39,
-            timeout: SimDuration::from_secs(2),
-            max_consecutive_stars: 3,
-        }
-    }
-}
-
-/// Probe one TTL with one flow id; return the responding address and
-/// whether it was a terminal response.
-fn probe_once<T: Transport>(
-    tx: &mut T,
-    dst: Ipv4Addr,
-    ttl: u8,
-    flow: u16,
-    tag: u64,
-    timeout: SimDuration,
-) -> (Option<Ipv4Addr>, bool) {
-    // Each flow id is its own Paris trace context: fixed five-tuple
-    // (40000+flow, 52009), checksum-tagged probes. The tag rides in the
-    // 16-bit checksum, so only its low 16 bits survive the round trip.
-    let tag = tag & 0xffff;
-    let mut strat = ParisUdp::new(40_000u16.wrapping_add(flow), 52_009);
-    let payload = tx.grab_payload();
-    let probe = strat.build_probe_with(tx.source_addr(), dst, ttl, tag, payload);
-    tx.send(probe);
-    let deadline = tx.now() + timeout;
-    while let Some((_, resp)) = tx.recv_until(deadline) {
-        if strat.match_response(dst, &resp) == Some(tag) {
-            let terminal = resp.ip.src == dst
-                || matches!(
-                    &resp.transport,
-                    pt_wire::Transport::Icmp(pt_wire::IcmpMessage::DestUnreachable { .. })
-                );
-            return (Some(resp.ip.src), terminal);
-        }
-    }
-    (None, false)
-}
-
-/// Enumerate the interfaces at every hop toward `destination` by varying
-/// the flow identifier, with the MDA stopping rule.
-pub fn enumerate<T: Transport>(
-    tx: &mut T,
-    destination: Ipv4Addr,
-    config: &MdaConfig,
-) -> MultipathMap {
-    let mut hops = Vec::new();
-    let mut total_probes = 0usize;
-    let mut consecutive_stars = 0u8;
-    let mut tag = 0u64;
-    'ttl: for ttl in 1..=config.max_ttl {
-        let mut seen: BTreeSet<Ipv4Addr> = BTreeSet::new();
-        let mut probes_sent = 0usize;
-        let mut since_new = 0usize;
-        let mut converged = false;
-        let mut reached_terminal = false;
-        for flow in 0..config.max_flows_per_hop as u16 {
-            let (addr, terminal) = probe_once(tx, destination, ttl, flow, tag, config.timeout);
-            tag += 1;
-            probes_sent += 1;
-            total_probes += 1;
-            if let Some(a) = addr {
-                if seen.insert(a) {
-                    since_new = 0;
-                } else {
-                    since_new += 1;
-                }
-                reached_terminal |= terminal;
-            } else {
-                since_new += 1;
-            }
-            if !seen.is_empty() && since_new >= probes_to_rule_out(seen.len(), config.alpha) {
-                converged = true;
-                break;
-            }
-        }
-        let empty = seen.is_empty();
-        hops.push(HopInterfaces { ttl, interfaces: seen, probes_sent, converged });
-        if reached_terminal {
-            break 'ttl;
-        }
-        if empty {
-            consecutive_stars += 1;
-            if consecutive_stars > config.max_consecutive_stars {
-                break;
-            }
-        } else {
-            consecutive_stars = 0;
-        }
-    }
-    MultipathMap { destination, hops, total_probes }
-}
-
-/// How a balanced hop spreads traffic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BalancerClass {
-    /// One flow id always lands on one interface.
-    PerFlow,
-    /// Even a fixed flow id scatters across interfaces.
-    PerPacket,
-    /// The hop did not answer enough probes to tell.
-    Undetermined,
-}
-
-/// Distinguish per-flow from per-packet balancing upstream of `ttl`:
-/// send `repeats` probes with an identical flow identifier and watch the
-/// responder set.
-pub fn classify_balancer<T: Transport>(
-    tx: &mut T,
-    destination: Ipv4Addr,
-    ttl: u8,
-    repeats: usize,
-    config: &MdaConfig,
-) -> BalancerClass {
-    let mut seen: BTreeSet<Ipv4Addr> = BTreeSet::new();
-    let mut answered = 0usize;
-    for i in 0..repeats {
-        // Fixed flow (flow id 0), distinct tags per probe. Tags must fit
-        // the 16-bit checksum identifier, so keep them small.
-        let (addr, _) = probe_once(tx, destination, ttl, 0, i as u64, config.timeout);
-        if let Some(a) = addr {
-            answered += 1;
-            seen.insert(a);
-        }
-    }
-    if answered < 2 {
-        BalancerClass::Undetermined
-    } else if seen.len() > 1 {
-        BalancerClass::PerPacket
-    } else {
-        BalancerClass::PerFlow
-    }
-}
+pub use engine::{classify_balancer, discover, discover_with, MdaConfig, MdaScratch};
+pub use map::{BalancerClass, DagLink, HopInterfaces, MultipathMap};
+pub use rule::probes_to_rule_out;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pt_netsim::node::BalancerKind;
+    use pt_netsim::time::SimDuration;
     use pt_netsim::{scenarios, SimTransport, Simulator};
     use pt_wire::FlowPolicy;
 
@@ -239,59 +48,171 @@ mod tests {
     }
 
     #[test]
-    fn stopping_rule_matches_the_known_shape() {
-        // The rule must grow with k and shrink with alpha.
-        let a = probes_to_rule_out(1, 0.05);
-        let b = probes_to_rule_out(2, 0.05);
-        let c = probes_to_rule_out(5, 0.05);
-        assert!(a < b && b < c, "{a} {b} {c}");
-        assert_eq!(a, 5, "ln(.05)/ln(.5) = 4.32 → 5");
-        assert!(probes_to_rule_out(1, 0.01) > a);
-    }
-
-    #[test]
-    fn enumerates_both_interfaces_of_fig1() {
-        let sc = scenarios::fig1(BalancerKind::PerFlow(FlowPolicy::FiveTuple));
-        let mut tx = transport(&sc, 31);
-        let map = enumerate(&mut tx, sc.destination, &MdaConfig::default());
-        // Hop 7 has A (responding) and B (silent): only A discoverable.
-        let hop7 = &map.hops[6];
-        assert_eq!(hop7.interfaces, BTreeSet::from([sc.a("A")]));
-        // Hop 8 similarly shows only D.
-        let hop8 = &map.hops[7];
-        assert_eq!(hop8.interfaces, BTreeSet::from([sc.a("D")]));
-        assert!(map.total_probes > map.hops.len(), "balanced hops need extra probes");
-    }
-
-    #[test]
-    fn enumerates_fig6_widths() {
+    fn enumerates_fig6_widths_and_links() {
         let sc = scenarios::fig6(BalancerKind::PerFlow(FlowPolicy::FiveTuple));
         let mut tx = transport(&sc, 5);
-        let map = enumerate(&mut tx, sc.destination, &MdaConfig::default());
-        // Hop 7: A, B, C; hop 8: D, E.
-        assert_eq!(map.hops[6].interfaces, BTreeSet::from([sc.a("A"), sc.a("B"), sc.a("C")]),);
-        assert_eq!(map.hops[7].interfaces, BTreeSet::from([sc.a("D"), sc.a("E")]));
+        let map = discover(&mut tx, sc.destination, &MdaConfig::default());
+        // Hop 7: A, B, C; hop 8: D, E (the diamond's two layers).
+        assert_eq!(map.hops[6].interfaces, vec![sc.a("A"), sc.a("B"), sc.a("C")]);
+        assert_eq!(map.hops[7].interfaces, vec![sc.a("D"), sc.a("E")]);
         assert_eq!(map.max_width(), 3);
         assert_eq!(map.balanced_hops().count(), 2);
         assert!(map.hops.iter().all(|h| h.converged), "stopping rule satisfied everywhere");
+        assert!(map.hops.iter().all(|h| h.stars == 0), "healthy scenario has no loss");
+        assert!(map.reached);
+        // The DAG, not just hop sets: C feeds only D; G is fed by both.
+        let c_succ: Vec<_> = map.successors(7, sc.a("C")).collect();
+        assert_eq!(c_succ, vec![sc.a("D")], "C reaches D only");
+        let g_pred: Vec<_> =
+            map.links.iter().filter(|l| l.to == sc.a("G")).map(|l| l.from).collect();
+        assert!(g_pred.contains(&sc.a("D")) && g_pred.contains(&sc.a("E")), "{g_pred:?}");
+        // Equal-length branches: no convergence spread.
+        assert_eq!(map.discovered_delta(), 0);
+        // Both balanced hops classified per-flow inline.
+        for hop in map.balanced_hops() {
+            assert_eq!(hop.class, BalancerClass::PerFlow, "ttl {}", hop.ttl);
+        }
+        assert_eq!(map.classification(), BalancerClass::PerFlow);
     }
 
     #[test]
-    fn linear_chain_needs_few_probes() {
+    fn fig6_per_packet_is_classified_inline() {
+        let sc = scenarios::fig6(BalancerKind::PerPacket);
+        let mut tx = transport(&sc, 5);
+        let map = discover(&mut tx, sc.destination, &MdaConfig::default());
+        assert_eq!(map.classification(), BalancerClass::PerPacket);
+        assert!(map.max_observed_width() >= 2);
+    }
+
+    #[test]
+    fn fig1_silent_balancer_member_blocks_convergence() {
+        // Fig. 1's hop 7 balances over A (responding) and B (silent):
+        // only A is discoverable, and the old behavior — confidently
+        // reporting width 1 after the rule fired on A alone — is the
+        // "drops non-responses on the floor" bug. Stars must be
+        // recorded and the hop must *not* converge.
+        let sc = scenarios::fig1(BalancerKind::PerFlow(FlowPolicy::FiveTuple));
+        let mut tx = transport(&sc, 31);
+        let map = discover(&mut tx, sc.destination, &MdaConfig::default());
+        let hop7 = &map.hops[6];
+        assert_eq!(hop7.interfaces, vec![sc.a("A")]);
+        assert!(hop7.stars > 0, "flows hashed to silent B must be visible as stars");
+        assert!(!hop7.converged, "a hop with stars never converges");
+        // Same at hop 8: D responds, C (feeding E) is silent upstream →
+        // flows on the A-side path star at hop 8.
+        let hop8 = &map.hops[7];
+        assert_eq!(hop8.interfaces, vec![sc.a("D")]);
+        assert!(!hop8.converged);
+        // max_width only trusts converged hops.
+        let widest_converged = map.max_width();
+        assert!(
+            map.hops.iter().filter(|h| !h.converged).all(|h| h.width() <= 1),
+            "unconverged widths are lower bounds"
+        );
+        assert_eq!(widest_converged, 1, "nothing wider than 1 was *confidently* enumerated");
+    }
+
+    #[test]
+    fn fig3_unequal_diamond_recovers_delta_one() {
+        // Fig. 3: L balances over A (short) and B→C (long); E merges.
+        // Flows hashed short see E at hop 8, long at hop 9 — the
+        // convergence spread recovers delta = 1.
+        let sc = scenarios::fig3(BalancerKind::PerFlow(FlowPolicy::FiveTuple));
+        let mut tx = transport(&sc, 9);
+        let map = discover(&mut tx, sc.destination, &MdaConfig::default());
+        assert_eq!(map.hops[6].interfaces, vec![sc.a("A"), sc.a("B")]);
+        assert_eq!(map.discovered_delta(), 1, "unequal branch lengths");
+        assert_eq!(map.classification(), BalancerClass::PerFlow);
+        assert!(map.reached);
+    }
+
+    #[test]
+    fn linear_chain_is_unbalanced_and_cheap() {
         let sc = scenarios::linear(5);
         let mut tx = transport(&sc, 2);
         let config = MdaConfig::default();
-        let map = enumerate(&mut tx, sc.destination, &config);
+        let map = discover(&mut tx, sc.destination, &config);
         assert_eq!(map.max_width(), 1);
-        // Every hop: 1 interface, ruled out a second with k=1 probes.
-        let per_hop = probes_to_rule_out(1, config.alpha) + 1;
+        assert_eq!(map.balanced_hops().count(), 0);
+        assert_eq!(map.classification(), BalancerClass::NotBalanced);
+        assert_eq!(map.discovered_delta(), 0);
+        // Every hop: 1 interface, ruled out a second with the k = 1
+        // stopping point.
+        let per_hop = probes_to_rule_out(1, config.alpha);
         for h in &map.hops {
             assert!(h.probes_sent <= per_hop, "hop {} used {}", h.ttl, h.probes_sent);
+            assert!(h.converged);
+        }
+        // The chain DAG is a path: one link out of every non-last hop.
+        for pair in map.hops.windows(2) {
+            assert_eq!(map.successors(pair[0].ttl, pair[0].interfaces[0]).count(), 1);
         }
     }
 
     #[test]
-    fn classifies_per_flow_vs_per_packet() {
+    fn windowed_walk_discovers_the_sequential_dag() {
+        // On deterministic scenarios the probing window is a pure
+        // virtual-time knob: the discovered DAG must be byte-identical
+        // at every width.
+        let scenarios: Vec<(&str, scenarios::Scenario)> = vec![
+            ("fig6", scenarios::fig6(BalancerKind::PerFlow(FlowPolicy::FiveTuple))),
+            ("fig3", scenarios::fig3(BalancerKind::PerFlow(FlowPolicy::FiveTuple))),
+            ("fig1", scenarios::fig1(BalancerKind::PerFlow(FlowPolicy::FiveTuple))),
+            ("linear", scenarios::linear(6)),
+        ];
+        for (name, sc) in &scenarios {
+            let walk = |window: u8| {
+                let mut tx = transport(sc, 77);
+                let config = MdaConfig { window, ..MdaConfig::default() };
+                discover(&mut tx, sc.destination, &config).dag_digest()
+            };
+            let sequential = walk(1);
+            for window in [2, 4, 8, 32] {
+                assert_eq!(
+                    walk(window),
+                    sequential,
+                    "{name}: window {window} changed the discovered DAG"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn windowed_walk_cuts_virtual_time() {
+        let sc = scenarios::fig6(BalancerKind::PerFlow(FlowPolicy::FiveTuple));
+        let time = |window: u8| {
+            let mut tx = transport(&sc, 3);
+            let config = MdaConfig { window, ..MdaConfig::default() };
+            let map = discover(&mut tx, sc.destination, &config);
+            assert!(map.reached);
+            tx.now().as_secs_f64()
+        };
+        let sequential = time(1);
+        let windowed = time(MdaConfig::default().window);
+        assert!(
+            windowed * 1.5 <= sequential,
+            "window must cut virtual probing time >= 1.5x: {sequential:.3}s -> {windowed:.3}s"
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_discovers_the_same_map() {
+        let sc = scenarios::fig6(BalancerKind::PerFlow(FlowPolicy::FiveTuple));
+        let config = MdaConfig::default();
+        let mut scratch = MdaScratch::new();
+        let mut digests = Vec::new();
+        for _ in 0..3 {
+            let mut tx = transport(&sc, 5);
+            let map = discover_with(&mut tx, sc.destination, &config, &mut scratch);
+            digests.push(map.dag_digest());
+            scratch.recycle(map);
+        }
+        assert_eq!(digests[0], digests[1]);
+        assert_eq!(digests[1], digests[2]);
+    }
+
+    #[test]
+    fn classifies_per_flow_vs_per_packet_standalone() {
         let per_flow = scenarios::fig6(BalancerKind::PerFlow(FlowPolicy::FiveTuple));
         let mut tx = transport(&per_flow, 3);
         assert_eq!(
@@ -327,5 +248,37 @@ mod tests {
         let cfg = MdaConfig { timeout: SimDuration::from_millis(50), ..MdaConfig::default() };
         let class = classify_balancer(&mut tx, dst, 5, 4, &cfg);
         assert_eq!(class, BalancerClass::Undetermined);
+    }
+
+    #[test]
+    fn firewalled_destination_abandons_at_the_star_limit() {
+        let mut b = pt_netsim::TopologyBuilder::new();
+        let s = b.host("S", pt_netsim::HostConfig::default());
+        let r = b.router("r", pt_netsim::node::RouterConfig::default());
+        let d = b.host("D", pt_netsim::HostConfig::firewalled());
+        b.link(s, r, SimDuration::from_millis(1), 0.0);
+        b.link(r, d, SimDuration::from_millis(1), 0.0);
+        b.default_via(s, r);
+        b.default_via(r, d);
+        b.default_via(d, r);
+        let s_pfx = b.subnet_of(s);
+        b.route_via(r, s_pfx, s);
+        let dst = b.addr_of(d);
+        let topo = std::sync::Arc::new(b.build());
+        for window in [1u8, 8] {
+            let mut tx = SimTransport::new(Simulator::new(topo.clone(), 1), s);
+            let cfg =
+                MdaConfig { timeout: SimDuration::from_millis(50), window, ..MdaConfig::default() };
+            let map = discover(&mut tx, dst, &cfg);
+            assert!(!map.reached, "window {window}");
+            // One answered hop (r) + exactly max_consecutive_stars
+            // all-star hops, then abandonment.
+            assert_eq!(
+                map.hops.len(),
+                1 + usize::from(cfg.max_consecutive_stars),
+                "window {window}"
+            );
+            assert!(map.hops[1..].iter().all(|h| h.all_stars() && !h.converged));
+        }
     }
 }

@@ -1,0 +1,169 @@
+//! The MDA stopping rule.
+//!
+//! After observing `k` distinct interfaces at a hop, how many probes
+//! (each carrying a fresh, uniformly hashed flow identifier) must *all*
+//! land on the seen set before a `k + 1`-th interface is ruled out at
+//! confidence `1 - alpha`?
+//!
+//! The published rule (the MDA follow-up to this paper's §6 future
+//! work) computes the exact probability that `n` uniform draws over
+//! `k + 1` interfaces miss at least one of them, by inclusion–exclusion
+//! over the missed subset, and picks the smallest `n` that pushes that
+//! probability under `alpha`. At `alpha = 0.05` this yields the paper's
+//! table: 6, 11, 16, 21, 27, 33, 38, 44 for `k = 1..=8` (the simpler
+//! single-interface bound `(k/(k+1))^n <= alpha` would understate the
+//! requirement by one or two probes per hop and miss real interfaces).
+
+/// Probability that `n` uniform random draws over `m` interfaces leave
+/// at least one interface unhit — the miss probability the stopping
+/// rule bounds. Exact inclusion–exclusion over the set of missed
+/// interfaces.
+fn miss_probability(m: usize, n: usize) -> f64 {
+    debug_assert!(m >= 2);
+    let mf = m as f64;
+    let mut p = 0.0;
+    let mut binom = 1.0; // C(m, j), updated incrementally
+    for j in 1..m {
+        binom *= (m - j + 1) as f64 / j as f64;
+        let term = binom * ((mf - j as f64) / mf).powi(n as i32);
+        if j % 2 == 1 {
+            p += term;
+        } else {
+            p -= term;
+        }
+    }
+    p
+}
+
+/// Stopping rule: after observing `k` distinct interfaces at a hop, the
+/// total number of uniformly hashed probes that rules out a `k + 1`-th
+/// interface with probability at least `1 - alpha`.
+///
+/// Monotonically increasing in `k`, decreasing in `alpha`; matches the
+/// MDA paper's published table (6, 11, 16, 21, 27, 33, 38, 44 for
+/// `k = 1..=8` at `alpha = 0.05`).
+///
+/// # Panics
+/// Panics unless `k >= 1` and `alpha` is in `(0, 1)`.
+pub fn probes_to_rule_out(k: usize, alpha: f64) -> usize {
+    assert!(k >= 1, "need at least one observed interface");
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+    let m = k + 1;
+    let mut n = 1;
+    while miss_probability(m, n) > alpha {
+        n += 1;
+    }
+    n
+}
+
+/// A memo of [`probes_to_rule_out`] values for one `alpha`, so the
+/// engine's per-probe commit step never recomputes the
+/// inclusion–exclusion sum. Grows lazily; [`RuleTable::reset`] prefills
+/// the common widths so steady-state walks stay allocation-free.
+#[derive(Debug, Default)]
+pub(crate) struct RuleTable {
+    alpha: f64,
+    by_k: Vec<usize>, // by_k[k] = probes_to_rule_out(k, alpha); by_k[0] unused
+}
+
+impl RuleTable {
+    /// Number of `k` values prefilled on reset — wider than any balancer
+    /// the generator plants, so lazy growth never fires in steady state.
+    const PREFILL: usize = 16;
+
+    pub(crate) fn reset(&mut self, alpha: f64) {
+        if self.alpha == alpha && self.by_k.len() > Self::PREFILL {
+            return;
+        }
+        self.alpha = alpha;
+        self.by_k.clear();
+        self.by_k.push(0);
+        for k in 1..=Self::PREFILL {
+            self.by_k.push(probes_to_rule_out(k, alpha));
+        }
+    }
+
+    pub(crate) fn get(&mut self, k: usize) -> usize {
+        debug_assert!(k >= 1);
+        while self.by_k.len() <= k {
+            self.by_k.push(probes_to_rule_out(self.by_k.len(), self.alpha));
+        }
+        self.by_k[k]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_published_mda_table() {
+        // The MDA paper's stopping points at 95% confidence.
+        let table = [6, 11, 16, 21, 27, 33, 38, 44];
+        for (k, expected) in table.iter().enumerate() {
+            assert_eq!(probes_to_rule_out(k + 1, 0.05), *expected, "k = {} at alpha = 0.05", k + 1);
+        }
+    }
+
+    #[test]
+    fn monotonically_increasing_in_k() {
+        for alpha in [0.10, 0.05, 0.01, 0.001] {
+            let mut prev = 0;
+            for k in 1..=16 {
+                let n = probes_to_rule_out(k, alpha);
+                assert!(n > prev, "rule must grow with k: k={k} alpha={alpha} {prev} -> {n}");
+                prev = n;
+            }
+        }
+    }
+
+    #[test]
+    fn decreasing_in_alpha() {
+        // Tighter confidence (smaller alpha) demands more probes.
+        for k in 1..=8 {
+            let alphas = [0.2, 0.1, 0.05, 0.01, 0.001];
+            for pair in alphas.windows(2) {
+                let loose = probes_to_rule_out(k, pair[0]);
+                let tight = probes_to_rule_out(k, pair[1]);
+                assert!(
+                    tight >= loose,
+                    "k={k}: alpha {} -> {} probes, alpha {} -> {} probes",
+                    pair[0],
+                    loose,
+                    pair[1],
+                    tight
+                );
+            }
+            assert!(probes_to_rule_out(k, 0.001) > probes_to_rule_out(k, 0.2));
+        }
+    }
+
+    #[test]
+    fn rule_satisfies_its_own_bound() {
+        // n(k) pushes the exact miss probability under alpha, and n(k)-1
+        // does not — i.e. the returned value is minimal.
+        for k in 1..=10 {
+            for alpha in [0.1, 0.05, 0.01] {
+                let n = probes_to_rule_out(k, alpha);
+                assert!(miss_probability(k + 1, n) <= alpha);
+                if n > 1 {
+                    assert!(
+                        miss_probability(k + 1, n - 1) > alpha,
+                        "k={k} alpha={alpha} not minimal"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_memo_agrees_with_direct_computation() {
+        let mut t = RuleTable::default();
+        t.reset(0.05);
+        for k in 1..=24 {
+            assert_eq!(t.get(k), probes_to_rule_out(k, 0.05));
+        }
+        t.reset(0.01);
+        assert_eq!(t.get(1), probes_to_rule_out(1, 0.01));
+    }
+}

@@ -134,6 +134,19 @@ impl DestTruth {
     pub fn any_anomaly_source(&self) -> bool {
         (self.per_flow_lb || self.per_packet_lb) || self.zero_ttl || self.broken || self.nat
     }
+
+    /// Whether any load balancer (per-flow or per-packet) sits on this
+    /// branch — the population multipath discovery must enumerate.
+    pub fn has_balancer(&self) -> bool {
+        self.per_flow_lb || self.per_packet_lb
+    }
+
+    /// The planted balancer's `(width, branch-length delta, is
+    /// per-packet)`, or `None` on plain branches — the ground truth a
+    /// multipath campaign is validated against.
+    pub fn balancer(&self) -> Option<(u8, u8, bool)> {
+        self.has_balancer().then_some((self.lb_width, self.lb_delta, self.per_packet_lb))
+    }
 }
 
 /// One destination: its address, host node, ground truth, and the branch

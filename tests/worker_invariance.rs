@@ -6,7 +6,8 @@
 //! be *byte-identical* for any number of workers.
 
 use paris_traceroute_repro::campaign::{
-    report_digest, run, CampaignConfig, CampaignResult, DynamicsConfig,
+    multipath_digest, report_digest, run, run_multipath, CampaignConfig, CampaignResult,
+    DynamicsConfig, MultipathConfig,
 };
 use paris_traceroute_repro::topogen::{generate, InternetConfig, SyntheticInternet};
 
@@ -47,6 +48,37 @@ fn digest_is_byte_identical_for_workers_1_4_8_without_dynamics() {
     for workers in [4, 8] {
         let digest = report_digest(&campaign(&net, workers, DynamicsConfig::none()));
         assert_eq!(digest, baseline, "workers = {workers}");
+    }
+}
+
+#[test]
+fn multipath_digest_is_byte_identical_for_workers_1_4_8() {
+    // The new campaign mode inherits the same guarantee: every MDA
+    // unit's draws (flow-family ports, the simulator seed) derive from
+    // `(seed, destination, round)`, units are re-sorted into unit
+    // order, so the full multipath digest — per-unit discoveries,
+    // per-destination merge, aggregates, and the virtual-time float —
+    // is byte-identical for any worker count.
+    let net = net();
+    let campaign = |workers: usize| {
+        let config = MultipathConfig { rounds: 2, workers, seed: 99, ..Default::default() };
+        run_multipath(&net, &config)
+    };
+    let baseline = campaign(1);
+    let baseline_digest = multipath_digest(&baseline);
+    assert!(baseline.report.balanced_dests > 0, "the workload must exercise balancers");
+    for workers in [4, 8] {
+        let result = campaign(workers);
+        assert_eq!(
+            multipath_digest(&result),
+            baseline_digest,
+            "multipath digest must not depend on worker count (workers = {workers})"
+        );
+        assert_eq!(
+            result.mean_virtual_secs.to_bits(),
+            baseline.mean_virtual_secs.to_bits(),
+            "workers = {workers}"
+        );
     }
 }
 
