@@ -28,4 +28,7 @@ pub use runner::{
     run, run_multipath, CampaignConfig, CampaignResult, DestMultipath, DynamicsConfig,
     MultipathConfig, MultipathReport, MultipathResult, UnitDiscovery,
 };
-pub use validate::{validate_causes, validate_multipath, MultipathScore, ValidationReport};
+pub use validate::{
+    validate_causes, validate_fault_recovery, validate_multipath, FaultRecoveryScore,
+    MultipathScore, ValidationReport,
+};

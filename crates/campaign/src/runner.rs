@@ -142,16 +142,6 @@ pub struct CampaignResult {
     pub mean_virtual_secs: f64,
 }
 
-impl CampaignResult {
-    /// The pre-pool name for the virtual-time figure. The old value
-    /// depended on how destinations were sharded over threads; the new
-    /// field does not, so the two are equal only at `workers = 1`.
-    #[deprecated(note = "use the worker-count-independent `mean_virtual_secs` field")]
-    pub fn mean_virtual_secs_per_shard(&self) -> f64 {
-        self.mean_virtual_secs
-    }
-}
-
 fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -445,6 +435,14 @@ pub struct MultipathConfig {
     /// seed (the study's [10000, 60000] discipline) and override the
     /// ports set here.
     pub mda: MdaConfig,
+    /// Run every unit with the adaptive probing policies
+    /// ([`MdaConfig::adaptive`]): backoff retries and pacing against
+    /// ICMP rate limiters, a longer star run for MPLS interiors, and
+    /// the mid-walk UDP → TCP fallback for filtered paths. The jitter
+    /// seed is derived per unit, so results stay bit-identical for any
+    /// worker count. Statistical knobs (`alpha`, flow budget, window)
+    /// still come from `mda`.
+    pub adaptive: bool,
     /// Campaign-level seed.
     pub seed: u64,
 }
@@ -462,6 +460,7 @@ impl Default for MultipathConfig {
             // full-recovery accuracy against planted ground truth above
             // the 95% acceptance floor.
             mda: MdaConfig { alpha: 0.01, ..MdaConfig::default() },
+            adaptive: false,
             seed: 20061025,
         }
     }
@@ -718,7 +717,29 @@ fn run_multipath_unit(
     let max_flows = config.mda.max_flows_per_hop as u16;
     let base_src_port = rng.gen_range(10_000..=60_000u16.saturating_sub(max_flows));
     let dst_port = rng.gen_range(10_000..=60_000);
-    let mda = MdaConfig { base_src_port, dst_port, ..config.mda };
+    let mda = if config.adaptive {
+        // The adaptive preset's probing policies layered over this
+        // campaign's statistical knobs; the jitter seed comes from the
+        // unit stream, so retry schedules are reproducible and
+        // worker-count independent.
+        let policy = MdaConfig::adaptive(splitmix64(unit_stream ^ 0x6164_7074));
+        MdaConfig {
+            flow_retries: policy.flow_retries,
+            max_consecutive_stars: policy.max_consecutive_stars,
+            retry_backoff: policy.retry_backoff,
+            jitter_seed: policy.jitter_seed,
+            pace_initial: policy.pace_initial,
+            pace_cap: policy.pace_cap,
+            dead_hop_flows: policy.dead_hop_flows,
+            protocol_fallback: policy.protocol_fallback,
+            fallback_after_stars: policy.fallback_after_stars,
+            base_src_port,
+            dst_port,
+            ..config.mda
+        }
+    } else {
+        MdaConfig { base_src_port, dst_port, ..config.mda }
+    };
     let map = discover_with(&mut tx, dest.addr, &mda, scratch);
 
     let discovery = UnitDiscovery {

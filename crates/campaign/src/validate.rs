@@ -15,7 +15,7 @@ use pt_core::{MeasuredRoute, StrategyId};
 use pt_mda::BalancerClass;
 use pt_topogen::SyntheticInternet;
 
-use crate::runner::MultipathResult;
+use crate::runner::{DestMultipath, MultipathResult};
 
 /// Precision/recall for one cause classifier.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -207,6 +207,97 @@ pub fn validate_multipath(net: &SyntheticInternet, result: &MultipathResult) -> 
                 score.full_matches += usize::from(width_ok && delta_ok && class_ok);
             }
         }
+    }
+    score
+}
+
+/// Whether one destination's merged discovery matches its planted
+/// truth: reachability exactly as planted (a fault-truncated walk that
+/// never reaches a reachable destination is wrong, whatever else it
+/// found), and the balancer — width, delta and class — recovered
+/// exactly, or confidently absent where none was planted.
+fn dest_matches_truth(truth: &pt_topogen::DestTruth, d: &DestMultipath) -> bool {
+    if d.reached == truth.firewalled {
+        return false;
+    }
+    match truth.balancer() {
+        None => d.class == BalancerClass::NotBalanced,
+        Some((width, delta, per_packet)) => {
+            d.width == usize::from(width)
+                && d.delta == delta
+                && d.class
+                    == if per_packet { BalancerClass::PerPacket } else { BalancerClass::PerFlow }
+        }
+    }
+}
+
+/// Recovery of hostile-fault destinations by the adaptive walker,
+/// scored against a fixed-rate baseline over the same network — the
+/// PR-6 acceptance metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultRecoveryScore {
+    /// Destinations with at least one planted hostile fault
+    /// ([`pt_topogen::DestTruth::any_hostile_fault`]).
+    pub hostile_dests: usize,
+    /// Hostile destinations the fixed-rate walker got wrong
+    /// (truncated short of a reachable destination, or balancer
+    /// evidence missing/incorrect).
+    pub fixed_wrong: usize,
+    /// ... of which the adaptive walker got fully right.
+    pub recovered: usize,
+    /// Hostile destinations the adaptive walker still got wrong.
+    pub adaptive_wrong: usize,
+    /// Destinations without a planted balancer that the adaptive
+    /// walker flagged as balanced — its fault tolerance must not come
+    /// from crying balancer, so this must stay zero.
+    pub false_balancers: usize,
+}
+
+impl FaultRecoveryScore {
+    /// Fraction of the fixed-rate walker's hostile-destination
+    /// failures the adaptive walker fixed. 1.0 when the fixed walker
+    /// made no mistakes.
+    pub fn recovery_rate(&self) -> f64 {
+        if self.fixed_wrong == 0 {
+            1.0
+        } else {
+            self.recovered as f64 / self.fixed_wrong as f64
+        }
+    }
+}
+
+/// Score an adaptive multipath campaign's recovery of planted hostile
+/// faults against a fixed-rate campaign over the same network.
+pub fn validate_fault_recovery(
+    net: &SyntheticInternet,
+    fixed: &MultipathResult,
+    adaptive: &MultipathResult,
+) -> FaultRecoveryScore {
+    assert_eq!(fixed.per_dest.len(), net.dests.len(), "fixed result covers every destination");
+    assert_eq!(adaptive.per_dest.len(), net.dests.len(), "adaptive result covers every dest");
+    let mut score = FaultRecoveryScore {
+        hostile_dests: 0,
+        fixed_wrong: 0,
+        recovered: 0,
+        adaptive_wrong: 0,
+        false_balancers: 0,
+    };
+    for (i, dest) in net.dests.iter().enumerate() {
+        let truth = &dest.truth;
+        let a = &adaptive.per_dest[i];
+        if truth.balancer().is_none() && a.class != BalancerClass::NotBalanced {
+            score.false_balancers += 1;
+        }
+        if !truth.any_hostile_fault() {
+            continue;
+        }
+        score.hostile_dests += 1;
+        let adaptive_ok = dest_matches_truth(truth, a);
+        if !dest_matches_truth(truth, &fixed.per_dest[i]) {
+            score.fixed_wrong += 1;
+            score.recovered += usize::from(adaptive_ok);
+        }
+        score.adaptive_wrong += usize::from(!adaptive_ok);
     }
     score
 }

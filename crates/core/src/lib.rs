@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod classic;
 pub mod paris;
 pub mod probe;
@@ -35,6 +36,7 @@ pub mod route;
 pub mod tcptrace;
 pub mod tracer;
 
+pub use adaptive::{trace_adaptive, AdaptiveTraceConfig};
 pub use classic::{ClassicIcmp, ClassicUdp};
 pub use paris::{ParisIcmp, ParisTcp, ParisUdp};
 pub use probe::{prefix_u16, prefix_u32, quotation_for, ProbeStrategy, StrategyId};

@@ -186,7 +186,7 @@ impl TraceConfig {
 }
 
 /// Classify a response packet and extract the Paris side information.
-fn classify(resp: &Packet) -> (ResponseKind, Option<u8>) {
+pub(crate) fn classify(resp: &Packet) -> (ResponseKind, Option<u8>) {
     match &resp.transport {
         Wire::Icmp(IcmpMessage::TimeExceeded { quotation }) => {
             (ResponseKind::TimeExceeded, Some(quotation.ip.ttl))
@@ -283,6 +283,23 @@ impl TraceScratch {
             if self.probe_vecs.len() < SCRATCH_HOP_POOL_CAP {
                 self.probe_vecs.push(hop.probes);
             }
+        }
+    }
+
+    /// [`TraceScratch::truncate_hops`] applied to a finished route —
+    /// the adaptive wrapper's splice/truncate entry point.
+    pub(crate) fn truncate_route(&mut self, route: &mut MeasuredRoute, keep: usize) {
+        let mut hops = core::mem::take(&mut route.hops);
+        self.truncate_hops(&mut hops, keep);
+        route.hops = hops;
+    }
+
+    /// Return a drained hop vector to the pool (the adaptive splice
+    /// empties a tail route's vector into the prefix and stashes the
+    /// husk here, keeping the loop allocation-free).
+    pub(crate) fn stash_hops(&mut self, hops: Vec<Hop>) {
+        if self.hop_vecs.len() < 4 {
+            self.hop_vecs.push(hops);
         }
     }
 }

@@ -49,13 +49,39 @@
 
 use std::net::Ipv4Addr;
 
-use pt_core::{prefix_u16, quotation_for, Transport};
+use pt_core::{prefix_u16, prefix_u32, quotation_for, Transport};
 use pt_netsim::time::{SimDuration, SimTime};
 use pt_wire::ipv4::{protocol, Ipv4Header};
+use pt_wire::tcp::{flags as tcp_flags, TcpSegment};
 use pt_wire::{IcmpMessage, Packet, Transport as Wire, UdpDatagram};
 
 use crate::map::{BalancerClass, DagLink, HopInterfaces, MultipathMap};
 use crate::rule::RuleTable;
+
+/// Probe protocol for a walk. UDP is the paper's default; TCP is the
+/// fallback the adaptive walk switches to mid-trace when a run of
+/// all-star hops suggests a UDP filter on the path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MdaProtocol {
+    /// UDP datagrams to high ports: flow id in the source port, probe
+    /// id in the pinned checksum (the Paris encoding).
+    Udp,
+    /// TCP SYNs to the HTTP port (as tcptraceroute sends, to look like
+    /// web traffic): flow id in the source port, probe id in the
+    /// Sequence Number.
+    Tcp,
+}
+
+/// Destination port of TCP fallback probes — the well-known HTTP port,
+/// the one port filtering middleboxes most reliably pass.
+const TCP_FALLBACK_PORT: u16 = 80;
+
+/// Dead-hop retry clamp for the adaptive walk: a hop that has never
+/// answered gets this many retries per flow (matching the classic
+/// default) instead of the full adaptive budget — backoff chains are
+/// for routers that demonstrably respond (rate limiting), not for
+/// black holes.
+const DEAD_FLOW_RETRIES: u8 = 2;
 
 /// MDA parameters.
 #[derive(Debug, Clone, Copy)]
@@ -87,6 +113,37 @@ pub struct MdaConfig {
     pub base_src_port: u16,
     /// Fixed destination port (the five-tuple's other half).
     pub dst_port: u16,
+    /// Protocol the walk starts with.
+    pub protocol: MdaProtocol,
+    /// Base delay before re-probing a timed-out flow at a hop that has
+    /// already answered (rate-limit evidence). Doubles per retry, with
+    /// deterministic jitter drawn from `jitter_seed`. `ZERO` retries
+    /// immediately — the classic walk.
+    pub retry_backoff: SimDuration,
+    /// Seed for the retry-jitter draws; derive it from the unit seed so
+    /// campaigns stay reproducible for any worker count.
+    pub jitter_seed: u64,
+    /// Once a hop shows rate-limit evidence (a timeout after an
+    /// answer), enumerate it one probe at a time with at least this gap
+    /// between launches, doubling per further starved interval up to
+    /// `pace_cap`. `ZERO` disables pacing.
+    pub pace_initial: SimDuration,
+    /// Ceiling for the per-hop pacing gap.
+    pub pace_cap: SimDuration,
+    /// Flow budget for an all-star hop before giving up on it, `0`
+    /// meaning the stopping rule's own scale (`rule.get(1)` — the
+    /// classic behaviour). The adaptive walk sets a smaller budget:
+    /// against a hop that answers *nothing*, flow diversity buys no
+    /// information (filters and MPLS interiors are flow-independent),
+    /// and the walk crosses more silent hops, so per-hop thrift keeps
+    /// the fault-free overhead bounded.
+    pub dead_hop_flows: usize,
+    /// Fall back from UDP to TCP mid-walk when a run of all-star hops
+    /// right after answering hops suggests a UDP filter.
+    pub protocol_fallback: bool,
+    /// Consecutive all-star hops that trigger the protocol fallback.
+    /// Must be below `max_consecutive_stars` or abandonment wins.
+    pub fallback_after_stars: u8,
 }
 
 impl Default for MdaConfig {
@@ -102,6 +159,14 @@ impl Default for MdaConfig {
             classify_repeats: 8,
             base_src_port: 40_000,
             dst_port: 33_435,
+            protocol: MdaProtocol::Udp,
+            retry_backoff: SimDuration::ZERO,
+            jitter_seed: 0,
+            pace_initial: SimDuration::ZERO,
+            pace_cap: SimDuration::ZERO,
+            dead_hop_flows: 0,
+            protocol_fallback: false,
+            fallback_after_stars: 2,
         }
     }
 }
@@ -111,6 +176,30 @@ impl MdaConfig {
     /// walk (one probe in flight, hop by hop).
     pub fn sequential(self) -> Self {
         MdaConfig { window: 1, ..self }
+    }
+
+    /// The hostile-network preset: a deeper retry budget with
+    /// exponential backoff and seeded jitter at hops that answer then
+    /// go silent (token-bucket rate limiters), per-hop probe pacing
+    /// that widens to ride out the refill interval, a longer star run
+    /// before abandonment (so MPLS interiors that hide several hops do
+    /// not truncate the walk), and a mid-walk UDP → TCP fallback for
+    /// filtered paths. On fault-free paths none of these engage and
+    /// the walk behaves like the default configuration plus a deeper
+    /// (but clamped — see the dead-hop retry clamp) retry budget.
+    pub fn adaptive(jitter_seed: u64) -> Self {
+        MdaConfig {
+            flow_retries: 5,
+            max_consecutive_stars: 5,
+            retry_backoff: SimDuration::from_millis(750),
+            jitter_seed,
+            pace_initial: SimDuration::from_millis(1_500),
+            pace_cap: SimDuration::from_secs(8),
+            dead_hop_flows: 4,
+            protocol_fallback: true,
+            fallback_after_stars: 2,
+            ..MdaConfig::default()
+        }
     }
 }
 
@@ -125,37 +214,88 @@ fn tag_of(id: u16) -> u16 {
     0x8000 | (id & ID_SPACE)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build_probe(
     config: &MdaConfig,
+    proto: MdaProtocol,
     src: Ipv4Addr,
     dst: Ipv4Addr,
     ttl: u8,
     flow: u16,
     id: u16,
-    payload: Vec<u8>,
+    mut payload: Vec<u8>,
 ) -> Packet {
-    let mut ip = Ipv4Header::new(src, dst, protocol::UDP, ttl);
-    ip.total_length = (pt_wire::ipv4::HEADER_LEN + pt_wire::udp::HEADER_LEN + 2) as u16;
-    let udp = UdpDatagram::with_pinned_checksum_in(
-        config.base_src_port.wrapping_add(flow),
-        config.dst_port,
-        tag_of(id),
-        2,
-        &ip,
-        payload,
-    );
-    Packet::new(ip, Wire::Udp(udp))
+    match proto {
+        MdaProtocol::Udp => {
+            let mut ip = Ipv4Header::new(src, dst, protocol::UDP, ttl);
+            ip.total_length = (pt_wire::ipv4::HEADER_LEN + pt_wire::udp::HEADER_LEN + 2) as u16;
+            let udp = UdpDatagram::with_pinned_checksum_in(
+                config.base_src_port.wrapping_add(flow),
+                config.dst_port,
+                tag_of(id),
+                2,
+                &ip,
+                payload,
+            );
+            Packet::new(ip, Wire::Udp(udp))
+        }
+        MdaProtocol::Tcp => {
+            let ip = Ipv4Header::new(src, dst, protocol::TCP, ttl);
+            let mut seg = TcpSegment::syn_probe(
+                config.base_src_port.wrapping_add(flow),
+                TCP_FALLBACK_PORT,
+                u32::from(tag_of(id)),
+            );
+            // SYN probes carry no data; the buffer rides along
+            // (cleared) so its allocation rejoins the pool.
+            payload.clear();
+            seg.payload = payload;
+            Packet::new(ip, Wire::Tcp(seg))
+        }
+    }
 }
 
 /// Recover the probe id a response answers, if it answers one of this
-/// walk's probes at all. Works for both mid-path ICMP errors and the
-/// terminal Port Unreachable, which all quote the probe's UDP header.
-fn match_response(config: &MdaConfig, dst: Ipv4Addr, response: &Packet) -> Option<u16> {
+/// walk's probes at all — under the probe protocol currently in force.
+/// UDP: mid-path ICMP errors and the terminal Port Unreachable, all
+/// quoting the probe's UDP header. TCP: quoted SYNs mid-path, plus the
+/// destination's own SYN-ACK/RST whose Acknowledgment is our Sequence
+/// plus one. After a mid-walk protocol switch, straggler responses to
+/// the abandoned protocol fail here and are released as strays.
+fn match_response(
+    config: &MdaConfig,
+    proto: MdaProtocol,
+    dst: Ipv4Addr,
+    response: &Packet,
+) -> Option<u16> {
+    if proto == MdaProtocol::Tcp && response.ip.src == dst {
+        if let Wire::Tcp(seg) = &response.transport {
+            if seg.src_port != TCP_FALLBACK_PORT
+                || seg.control & (tcp_flags::SYN | tcp_flags::RST) == 0
+            {
+                return None;
+            }
+            let flow = seg.dst_port.wrapping_sub(config.base_src_port);
+            if usize::from(flow) >= config.max_flows_per_hop {
+                return None;
+            }
+            let tag = seg.ack.wrapping_sub(1);
+            if tag > u32::from(u16::MAX) {
+                return None;
+            }
+            let tag = tag as u16;
+            return (tag & 0x8000 != 0).then_some(tag & ID_SPACE);
+        }
+    }
     let q = quotation_for(dst, response)?;
-    if q.ip.protocol != protocol::UDP {
+    let (quoted_proto, expected_dst_port) = match proto {
+        MdaProtocol::Udp => (protocol::UDP, config.dst_port),
+        MdaProtocol::Tcp => (protocol::TCP, TCP_FALLBACK_PORT),
+    };
+    if q.ip.protocol != quoted_proto {
         return None;
     }
-    if prefix_u16(&q.transport_prefix, 2) != config.dst_port {
+    if prefix_u16(&q.transport_prefix, 2) != expected_dst_port {
         return None;
     }
     let sp = prefix_u16(&q.transport_prefix, 0);
@@ -163,8 +303,54 @@ fn match_response(config: &MdaConfig, dst: Ipv4Addr, response: &Packet) -> Optio
     if usize::from(flow) >= config.max_flows_per_hop {
         return None;
     }
-    let ck = prefix_u16(&q.transport_prefix, 6);
-    (ck & 0x8000 != 0).then_some(ck & ID_SPACE)
+    let tag = match proto {
+        // The pinned checksum sits in quoted octets 6–7.
+        MdaProtocol::Udp => prefix_u16(&q.transport_prefix, 6),
+        // The Sequence Number sits in quoted octets 4–7; ours never
+        // exceed sixteen bits.
+        MdaProtocol::Tcp => {
+            let seq = prefix_u32(&q.transport_prefix, 4);
+            if seq > u32::from(u16::MAX) {
+                return None;
+            }
+            seq as u16
+        }
+    };
+    (tag & 0x8000 != 0).then_some(tag & ID_SPACE)
+}
+
+/// SplitMix64 — the same tiny generator the campaign layer uses to
+/// derive per-unit seeds; here it turns `(seed, key)` into retry
+/// jitter without any RNG state to carry.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Flow budget for a hop with no interface yet: the configured
+/// dead-hop budget, or the stopping rule's own scale when unset.
+fn dead_hop_budget(rule: &mut RuleTable, config: &MdaConfig) -> usize {
+    if config.dead_hop_flows > 0 {
+        config.dead_hop_flows
+    } else {
+        rule.get(1)
+    }
+}
+
+/// Exponential backoff with deterministic jitter for the `attempt`-th
+/// retry of `flow` at `ttl`: `retry_backoff * 2^attempt`, plus up to
+/// half that again drawn from the walk's jitter seed — reproducible,
+/// and no two flows thunder back in lockstep.
+fn backoff_delay(config: &MdaConfig, ttl: u8, flow: u16, attempt: u8) -> SimDuration {
+    if config.retry_backoff == SimDuration::ZERO {
+        return SimDuration::ZERO;
+    }
+    let base = config.retry_backoff.nanos().saturating_mul(1u64 << u32::from(attempt.min(6)));
+    let key = (u64::from(ttl) << 32) | (u64::from(flow) << 16) | u64::from(attempt);
+    let jitter = splitmix64(config.jitter_seed ^ key) % (base / 2 + 1);
+    SimDuration::from_nanos(base.saturating_add(jitter))
 }
 
 fn is_terminal(dst: Ipv4Addr, response: &Packet) -> bool {
@@ -179,8 +365,10 @@ enum Slot {
     /// may follow if it times out.
     InFlight { retries_left: u8 },
     /// The last probe timed out but retries remain; the launcher will
-    /// re-probe this flow before opening new ones.
-    AwaitingRetry { retries_left: u8 },
+    /// re-probe this flow before opening new ones, but no earlier than
+    /// `not_before` (the adaptive walk's exponential backoff; the
+    /// classic walk sets it to the expiry instant, i.e. immediately).
+    AwaitingRetry { retries_left: u8, not_before: SimTime },
     /// The flow got an answer.
     Answered { addr: Ipv4Addr, terminal: bool },
     /// The flow never answered, retries included.
@@ -210,6 +398,21 @@ struct HopState {
     class_resolved: usize,
     class_answered: usize,
     class_addrs: Vec<Ipv4Addr>,
+    /// Rate-limit evidence seen: the hop answered, then starved. While
+    /// paced, the hop takes one probe at a time, gated on `gate`.
+    paced: bool,
+    /// Current pacing gap; doubles per starved interval up to the cap.
+    pace: SimDuration,
+    /// No probe launches at a paced hop before this instant.
+    gate: SimTime,
+    /// Last instant the pacing gap was escalated, so one sweep that
+    /// expires a whole window of probes at once escalates it once.
+    pace_bumped_at: SimTime,
+    /// Starved intervals (distinct expiry instants after an answer)
+    /// seen at this hop. Pacing engages on the second one: a single
+    /// timeout is indistinguishable from ordinary link loss, while a
+    /// token-bucket limiter starves every interval after its burst.
+    starves: u8,
 }
 
 impl HopState {
@@ -230,6 +433,25 @@ impl HopState {
         self.class_resolved = 0;
         self.class_answered = 0;
         self.class_addrs.clear();
+        self.paced = false;
+        self.pace = SimDuration::ZERO;
+        self.gate = SimTime::ZERO;
+        self.pace_bumped_at = SimTime::ZERO;
+        self.starves = 0;
+    }
+
+    /// Any answer at this hop, committed or not — evidence the router
+    /// responds at all, i.e. that silence is rate limiting rather than
+    /// a black hole, and retrying with backoff is worth the wait.
+    fn lively(&self) -> bool {
+        self.answered > 0 || self.slots.iter().any(|s| matches!(s, Slot::Answered { .. }))
+    }
+
+    /// Probes of this hop currently in flight (enumeration and
+    /// classification) — what a paced hop holds to at most one.
+    fn outstanding(&self) -> usize {
+        self.slots.iter().filter(|s| matches!(s, Slot::InFlight { .. })).count()
+            + (self.class_launched - self.class_resolved)
     }
 
     /// Flows this hop's enumeration wants launched in total, given the
@@ -245,14 +467,17 @@ impl HopState {
         let t = if k == 0 {
             // No interface yet: an all-silent hop is abandoned after as
             // many flows as would rule out a *second* interface had one
-            // answered — the rule's own scale, not the full flow budget.
-            rule.get(1)
+            // answered — the rule's own scale, not the full flow budget
+            // (or the adaptive walk's smaller `dead_hop_flows` budget).
+            dead_hop_budget(rule, config)
         } else {
             // The rule bounds *answered* probes at the hop (the MDA
-            // table's n_k is a total, discovery probes included);
-            // committed stars inflate the flow count but carry no
-            // evidence, so each one pushes the target out by one.
-            self.committed + (rule.get(k) - self.answered)
+            // table's n_k is a total, discovery probes included); a
+            // lost probe observes nothing, so each committed star
+            // widens the send budget by exactly one — the
+            // loss-adjusted rule. Loss can only widen, never narrow,
+            // the hop hypothesis.
+            rule.get_lossy(k, self.stars)
         };
         t.min(config.max_flows_per_hop)
     }
@@ -277,10 +502,14 @@ impl HopState {
             }
             self.committed += 1;
             let k = self.interfaces.len();
-            if k >= 1 && self.answered >= rule.get(k) {
+            // The loss-adjusted stopping point: `answered + stars`
+            // committed flows against the base requirement plus the
+            // observed loss — i.e. the rule still demands its full
+            // count of *answered* probes, and every star defers it.
+            if k >= 1 && self.committed >= rule.get_lossy(k, self.stars) {
                 self.enum_done = true;
                 self.converged = self.stars == 0;
-            } else if k == 0 && self.committed >= rule.get(1) {
+            } else if k == 0 && self.committed >= dead_hop_budget(rule, config) {
                 self.enum_done = true; // all-star hop: give up early
             } else if self.committed >= config.max_flows_per_hop {
                 self.enum_done = true; // flow budget exhausted
@@ -447,6 +676,7 @@ pub fn discover_with<T: Transport>(
     let mut consecutive_stars = 0u8;
     let mut next_id: u16 = 0;
     let mut total_probes = 0usize;
+    let mut proto = config.protocol;
     let kept: usize;
 
     'drive: loop {
@@ -461,6 +691,25 @@ pub fn discover_with<T: Transport>(
             }
             if h.interfaces.is_empty() {
                 consecutive_stars += 1;
+                if proto == MdaProtocol::Udp
+                    && config.protocol_fallback
+                    && consecutive_stars >= config.fallback_after_stars
+                {
+                    // A run of all-star hops right behind answering
+                    // hops smells like a UDP filter, not a dead path:
+                    // roll the starred run back and re-enumerate it
+                    // over TCP. Outstanding probes at the rolled-back
+                    // hops are forgotten (their late answers no longer
+                    // match the protocol in force); hops before the
+                    // run keep their committed UDP evidence.
+                    let first = frontier + 1 - usize::from(consecutive_stars);
+                    scratch.registry.retain(|e| e.hop < first);
+                    opened = first;
+                    frontier = first;
+                    consecutive_stars = 0;
+                    proto = MdaProtocol::Tcp;
+                    continue 'drive;
+                }
                 if consecutive_stars >= config.max_consecutive_stars {
                     kept = frontier + 1;
                     break 'drive;
@@ -478,15 +727,18 @@ pub fn discover_with<T: Transport>(
         //    id space is a hard launch gate: a (degenerate) walk that
         //    exhausts it winds down with partial, unconverged hops
         //    rather than recycling ids into mis-attribution.
+        let now = transport.now();
+        let mut wake: Option<SimTime> = None;
         while scratch.registry.len() < window && total_probes < usize::from(ID_SPACE) {
-            let Some(launch) =
-                next_launch(&scratch.states[..opened], &mut scratch.rule, config, frontier)
-            else {
+            let (launch, next_ready) =
+                next_launch(&scratch.states[..opened], &mut scratch.rule, config, frontier, now);
+            wake = next_ready;
+            let Some(launch) = launch else {
                 break;
             };
             let (hop_idx, flow, retries_left, kind) = match launch {
                 Launch::Retry { hop, flow } => {
-                    let Slot::AwaitingRetry { retries_left } =
+                    let Slot::AwaitingRetry { retries_left, .. } =
                         scratch.states[hop].slots[usize::from(flow)]
                     else {
                         unreachable!("retry launch on a non-retry slot")
@@ -530,11 +782,15 @@ pub fn discover_with<T: Transport>(
                 }
                 ProbeKind::Classify => st.class_launched += 1,
             }
+            if st.paced {
+                st.gate = now + st.pace;
+            }
             st.probes_sent += 1;
             total_probes += 1;
             let ttl = st.ttl;
             let payload = transport.grab_payload();
-            let packet = build_probe(config, source, destination, ttl, flow, next_id, payload);
+            let packet =
+                build_probe(config, proto, source, destination, ttl, flow, next_id, payload);
             let sent = transport.now();
             scratch.registry.push(RegEntry {
                 id: next_id,
@@ -547,6 +803,16 @@ pub fn discover_with<T: Transport>(
         }
 
         if scratch.registry.is_empty() {
+            if let Some(at) = wake {
+                // Nothing in flight but a deferred launch (a backoff
+                // retry or a paced hop's gate) is pending: idle the
+                // clock forward until it is due. Anything delivered
+                // meanwhile answers no outstanding probe — a stray.
+                if let Some((_, resp)) = transport.recv_until(at) {
+                    transport.release(resp);
+                }
+                continue 'drive;
+            }
             // Nothing in flight and nothing launchable: every opened
             // hop is finalized and the TTL ceiling stops new ones.
             kept = opened;
@@ -565,6 +831,9 @@ pub fn discover_with<T: Transport>(
                     .map(|e| e.deadline)
                     .min()
                     .expect("outstanding probes carry deadlines");
+                // A deferred launch due earlier than every deadline
+                // bounds the wait: wake up, launch it, keep walking.
+                let deadline = wake.map_or(deadline, |w| deadline.min(w));
                 match transport.recv_until(deadline) {
                     Some(d) => d,
                     None => {
@@ -589,10 +858,53 @@ pub fn discover_with<T: Transport>(
                                     let Slot::InFlight { retries_left } = st.slots[fi] else {
                                         continue;
                                     };
-                                    st.slots[fi] = if retries_left > 0 {
-                                        Slot::AwaitingRetry { retries_left: retries_left - 1 }
-                                    } else {
+                                    let lively = st.lively();
+                                    // Timeouts at a hop that has
+                                    // answered are rate-limit
+                                    // evidence — but only repeated
+                                    // ones. Count one starve per sweep
+                                    // instant (one starved window is
+                                    // one signal) and engage or widen
+                                    // pacing from the second on; a
+                                    // lone timeout is ordinary link
+                                    // loss and costs only its backoff.
+                                    if lively
+                                        && config.pace_initial > SimDuration::ZERO
+                                        && st.pace_bumped_at != now
+                                    {
+                                        st.pace_bumped_at = now;
+                                        st.starves = st.starves.saturating_add(1);
+                                        if st.starves >= 2 {
+                                            st.paced = true;
+                                            st.pace = if st.pace == SimDuration::ZERO {
+                                                config.pace_initial
+                                            } else {
+                                                (st.pace + st.pace).min(config.pace_cap)
+                                            };
+                                        }
+                                    }
+                                    let spent = config.flow_retries.saturating_sub(retries_left);
+                                    let exhausted = retries_left == 0
+                                        || (config.retry_backoff > SimDuration::ZERO
+                                            && !lively
+                                            && spent >= DEAD_FLOW_RETRIES);
+                                    st.slots[fi] = if exhausted {
                                         Slot::Star
+                                    } else {
+                                        // First retry fires immediately
+                                        // (right for isolated loss, and
+                                        // exactly the classic walk);
+                                        // repeats back off — by then
+                                        // the silence is a pattern.
+                                        let not_before = if lively && spent >= 1 {
+                                            now + backoff_delay(config, st.ttl, flow, spent - 1)
+                                        } else {
+                                            now
+                                        };
+                                        Slot::AwaitingRetry {
+                                            retries_left: retries_left - 1,
+                                            not_before,
+                                        }
                                     };
                                     st.commit(&mut scratch.rule, config);
                                 }
@@ -605,7 +917,7 @@ pub fn discover_with<T: Transport>(
             }
         };
         let (_at, resp) = delivery;
-        let Some(id) = match_response(config, destination, &resp) else {
+        let Some(id) = match_response(config, proto, destination, &resp) else {
             transport.release(resp);
             continue; // stray packet
         };
@@ -685,31 +997,68 @@ pub fn discover_with<T: Transport>(
 /// balanced hop takes its classification batch; only when no open hop
 /// wants a probe does a new hop open — and never past a hop already
 /// known to be terminal, nor past the TTL ceiling.
+///
+/// Adaptive deferrals ride alongside: a backoff retry whose
+/// `not_before` is still ahead, or a paced hop whose gate has not
+/// opened (or that already holds its one allowed probe), is skipped
+/// for now and its due time folded into the returned wake-up instant —
+/// the drive loop idles the clock to the earlier of that instant and
+/// the next probe deadline, so deferred launches fire exactly on time
+/// and deeper hops keep walking meanwhile.
 fn next_launch(
     states: &[HopState],
     rule: &mut RuleTable,
     config: &MdaConfig,
     frontier: usize,
-) -> Option<Launch> {
+    now: SimTime,
+) -> (Option<Launch>, Option<SimTime>) {
+    fn defer(wake: &mut Option<SimTime>, at: SimTime) {
+        *wake = Some(wake.map_or(at, |w| w.min(at)));
+    }
+    let mut wake: Option<SimTime> = None;
     let mut terminal_known = false;
     for (i, st) in states.iter().enumerate().skip(frontier) {
+        // A paced hop (rate-limit evidence) launches one probe at a
+        // time, no earlier than its gate.
+        let gated = st.paced && (st.outstanding() > 0 || st.gate > now);
         if !st.enum_done {
-            if let Some(fi) = st.slots.iter().position(|s| matches!(s, Slot::AwaitingRetry { .. }))
-            {
-                return Some(Launch::Retry { hop: i, flow: fi as u16 });
-            }
-            if st.slots.len() < st.target(rule, config) {
-                return Some(Launch::NewFlow { hop: i });
+            if gated {
+                if st.outstanding() == 0 {
+                    defer(&mut wake, st.gate);
+                }
+            } else {
+                let mut ready = None;
+                for (fi, s) in st.slots.iter().enumerate() {
+                    if let Slot::AwaitingRetry { not_before, .. } = s {
+                        if *not_before <= now {
+                            ready = Some(fi);
+                            break;
+                        }
+                        defer(&mut wake, *not_before);
+                    }
+                }
+                if let Some(fi) = ready {
+                    return (Some(Launch::Retry { hop: i, flow: fi as u16 }), wake);
+                }
+                if st.slots.len() < st.target(rule, config) {
+                    return (Some(Launch::NewFlow { hop: i }), wake);
+                }
             }
         } else if st.class_launched < st.classify_target {
-            return Some(Launch::Classify { hop: i });
+            if gated {
+                if st.outstanding() == 0 {
+                    defer(&mut wake, st.gate);
+                }
+            } else {
+                return (Some(Launch::Classify { hop: i }), wake);
+            }
         }
         terminal_known |= st.enum_done && st.terminal_complete();
     }
     if !terminal_known && states.len() < usize::from(config.max_ttl) {
-        return Some(Launch::OpenHop);
+        return (Some(Launch::OpenHop), wake);
     }
-    None
+    (None, wake)
 }
 
 /// Distinguish per-flow from per-packet balancing at `ttl`: send
@@ -729,11 +1078,11 @@ pub fn classify_balancer<T: Transport>(
     for i in 0..repeats {
         let payload = transport.grab_payload();
         let id = (i & 0x7fff) as u16;
-        let probe = build_probe(config, source, destination, ttl, 0, id, payload);
+        let probe = build_probe(config, config.protocol, source, destination, ttl, 0, id, payload);
         transport.send(probe);
         let deadline = transport.now() + config.timeout;
         while let Some((_, resp)) = transport.recv_until(deadline) {
-            let matched = match_response(config, destination, &resp) == Some(id);
+            let matched = match_response(config, config.protocol, destination, &resp) == Some(id);
             let from = resp.ip.src;
             transport.release(resp);
             if matched {

@@ -31,9 +31,9 @@ mod engine;
 mod map;
 mod rule;
 
-pub use engine::{classify_balancer, discover, discover_with, MdaConfig, MdaScratch};
+pub use engine::{classify_balancer, discover, discover_with, MdaConfig, MdaProtocol, MdaScratch};
 pub use map::{BalancerClass, DagLink, HopInterfaces, MultipathMap};
-pub use rule::probes_to_rule_out;
+pub use rule::{probes_to_rule_out, probes_to_rule_out_lossy};
 
 #[cfg(test)]
 mod tests {

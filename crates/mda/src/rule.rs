@@ -56,6 +56,24 @@ pub fn probes_to_rule_out(k: usize, alpha: f64) -> usize {
     n
 }
 
+/// Loss-adjusted stopping rule: the number of probes to *send* when
+/// `lost` of them are already known to have drawn no answer.
+///
+/// A lost probe observes nothing — it neither hit a seen interface nor
+/// revealed a new one — so it contributes zero evidence toward ruling
+/// out a `k + 1`-th interface. Exactly `n` *answered* probes are still
+/// required, where `n = probes_to_rule_out(k, alpha)`; the send budget
+/// therefore widens by precisely the observed loss:
+/// `P(miss | s sent, lost lost) = miss_probability(k + 1, s - lost)`,
+/// which drops under `alpha` first at `s = n + lost`. The hypothesis
+/// can only widen, never narrow, under loss.
+///
+/// # Panics
+/// Same domain as [`probes_to_rule_out`]: `k >= 1`, `alpha` in `(0, 1)`.
+pub fn probes_to_rule_out_lossy(k: usize, alpha: f64, lost: usize) -> usize {
+    probes_to_rule_out(k, alpha).saturating_add(lost)
+}
+
 /// A memo of [`probes_to_rule_out`] values for one `alpha`, so the
 /// engine's per-probe commit step never recomputes the
 /// inclusion–exclusion sum. Grows lazily; [`RuleTable::reset`] prefills
@@ -89,6 +107,13 @@ impl RuleTable {
             self.by_k.push(probes_to_rule_out(self.by_k.len(), self.alpha));
         }
         self.by_k[k]
+    }
+
+    /// The loss-adjusted send budget ([`probes_to_rule_out_lossy`]):
+    /// memoized base requirement plus the hop's observed loss. Same
+    /// allocation behaviour as [`RuleTable::get`].
+    pub(crate) fn get_lossy(&mut self, k: usize, lost: usize) -> usize {
+        self.get(k).saturating_add(lost)
     }
 }
 

@@ -1,0 +1,52 @@
+//! Property tests for the loss-adjusted MDA stopping rule.
+//!
+//! The PR-6 loss model must be a pure widening of the published rule:
+//! a lost probe adds exactly one probe to the send budget (it observed
+//! nothing), and with no loss the budget must reduce to the published
+//! table. These properties pin the "lost probes widen, never narrow,
+//! the hypothesis" contract over the whole parameter space, not just
+//! the handful of points the unit tests check.
+
+use proptest::prelude::*;
+
+use pt_mda::{probes_to_rule_out, probes_to_rule_out_lossy};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Zero loss is the published rule, exactly.
+    #[test]
+    fn zero_loss_reduces_to_the_base_rule(k in 1usize..=12, alpha in 0.001f64..0.5) {
+        prop_assert_eq!(probes_to_rule_out_lossy(k, alpha, 0), probes_to_rule_out(k, alpha));
+    }
+
+    /// The budget is monotone (strictly increasing, by exactly one per
+    /// lost probe) in the observed loss: loss can only widen the
+    /// hypothesis, never narrow it.
+    #[test]
+    fn monotone_in_loss(k in 1usize..=12, alpha in 0.001f64..0.5, lost in 0usize..64) {
+        let n = probes_to_rule_out_lossy(k, alpha, lost);
+        let n_more = probes_to_rule_out_lossy(k, alpha, lost + 1);
+        prop_assert!(n_more > n, "loss must widen: k={k} lost={lost}: {n} -> {n_more}");
+        prop_assert_eq!(n_more, n + 1, "each lost probe costs exactly one extra send");
+    }
+
+    /// Loss never changes the rule's shape in k: at any fixed loss the
+    /// budget still grows with the number of observed interfaces.
+    #[test]
+    fn still_monotone_in_k_under_loss(k in 1usize..=11, alpha in 0.001f64..0.5, lost in 0usize..64) {
+        prop_assert!(
+            probes_to_rule_out_lossy(k + 1, alpha, lost) > probes_to_rule_out_lossy(k, alpha, lost)
+        );
+    }
+}
+
+/// The anchor the properties hang off: at `alpha = 0.05` and zero loss
+/// the budget is the MDA paper's published table.
+#[test]
+fn lossless_budget_is_the_published_table() {
+    let table = [6usize, 11, 16, 21, 27, 33, 38, 44];
+    for (i, expected) in table.iter().enumerate() {
+        assert_eq!(probes_to_rule_out_lossy(i + 1, 0.05, 0), *expected, "k = {}", i + 1);
+    }
+}

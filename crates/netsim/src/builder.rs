@@ -102,9 +102,24 @@ impl TopologyBuilder {
         (idx, addr)
     }
 
-    /// Connect two nodes with a link of the given delay and loss,
-    /// allocating one new interface on each. Returns the link id.
+    /// Connect two nodes with a symmetric link of the given delay and
+    /// loss, allocating one new interface on each. Returns the link id.
     pub fn link(&mut self, a: NodeId, b: NodeId, delay: SimDuration, loss: f64) -> LinkId {
+        self.link_asym(a, b, delay, delay, loss)
+    }
+
+    /// Connect two nodes with per-direction delays: `delay` applies
+    /// `a → b`, `delay_back` applies `b → a`. An asymmetric return
+    /// path skews RTTs (the hostile-network knob) without changing
+    /// topology or hop counts.
+    pub fn link_asym(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        delay: SimDuration,
+        delay_back: SimDuration,
+        loss: f64,
+    ) -> LinkId {
         assert!((0.0..=1.0).contains(&loss), "loss must be a probability");
         let (ia, _) = self.fresh_iface(a);
         let (ib, _) = self.fresh_iface(b);
@@ -112,6 +127,7 @@ impl TopologyBuilder {
         self.links.push(Link {
             endpoints: [Endpoint { node: a, iface: ia }, Endpoint { node: b, iface: ib }],
             delay,
+            delay_back,
             loss,
         });
         self.nodes[a.0].ifaces[ia].link = Some(id);

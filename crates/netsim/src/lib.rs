@@ -18,6 +18,11 @@
 //! * routers whose forwarding is broken and answer Destination Unreachable,
 //! * NAT gateways that rewrite the source of everything leaving a stub,
 //! * silent routers and lossy links (stars),
+//! * token-bucket ICMP rate limiters (rate *and* burst — the dominant
+//!   modern star cause),
+//! * MPLS-LSP interiors that decrement TTL without sourcing ICMP,
+//! * firewalls that drop UDP transit while passing TCP and ICMP,
+//! * asymmetric return paths (per-direction link delays skewing RTTs),
 //! * scheduled routing-table changes and transient forwarding loops.
 //!
 //! The simulator is fully deterministic given a seed: event ordering uses
@@ -41,7 +46,7 @@ pub mod wheel;
 pub use addr::Ipv4Prefix;
 pub use arena::{PacketArena, PacketRef};
 pub use builder::TopologyBuilder;
-pub use node::{BalancerKind, HostConfig, NatConfig, NodeKind, RouterConfig};
+pub use node::{BalancerKind, HostConfig, IcmpRateLimit, NatConfig, NodeKind, RouterConfig};
 pub use routing::{NextHop, NodeRouting, RouteDelta, RouteOverlay, RoutingTable};
 pub use sim::{SimStats, Simulator, SimulatorPool};
 pub use time::{SimDuration, SimTime};

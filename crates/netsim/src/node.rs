@@ -36,6 +36,26 @@ impl NatConfig {
     }
 }
 
+/// Token-bucket ICMP rate limiting — the dominant modern cause of
+/// mid-route stars. The bucket holds up to `burst` tokens, refills one
+/// token every `interval`, and each originated ICMP spends one token;
+/// an empty bucket suppresses the ICMP. Unlike the legacy
+/// `icmp_min_interval` knob (a degenerate `burst == 1` bucket), a burst
+/// lets the first few back-to-back probes through before the limiter
+/// bites — exactly the "resolves on retry at a lower rate" signature
+/// adaptive tracers exploit.
+///
+/// All arithmetic is integer nanoseconds, so the limiter is a pure
+/// function of probe arrival times and stays deterministic under the
+/// fixed-seed discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IcmpRateLimit {
+    /// Time to mint one token (1 / rate).
+    pub interval: crate::time::SimDuration,
+    /// Bucket capacity: ICMPs the router will source back-to-back.
+    pub burst: u32,
+}
+
 /// Which source address a router stamps on the ICMP it originates.
 ///
 /// Real deployments mix both: answering from the interface the offending
@@ -72,6 +92,18 @@ pub struct RouterConfig {
     /// ICMP rate limiting: suppress an ICMP if one was generated within
     /// this interval (mid-route stars on real routers).
     pub icmp_min_interval: Option<crate::time::SimDuration>,
+    /// Token-bucket ICMP rate limiting (rate *and* burst). Composes
+    /// with `icmp_min_interval`: an ICMP must pass both to leave.
+    pub icmp_rate_limit: Option<IcmpRateLimit>,
+    /// MPLS-tunnel interior: label-switch transit traffic (decrement
+    /// TTL and forward as usual) but never source Time Exceeded —
+    /// expired packets vanish inside the LSP. Direct probes to the
+    /// router's own addresses still answer, unlike `silent`.
+    pub mpls_hidden: bool,
+    /// Firewall filter: silently drop UDP *transit* packets while
+    /// letting TCP and ICMP through (the classic reason traceroute -U
+    /// dies mid-path where TCP/ICMP variants get through).
+    pub filter_udp: bool,
     /// Source-address selection for originated ICMP.
     pub responder: ResponderAddr,
 }
@@ -85,6 +117,9 @@ impl Default for RouterConfig {
             silent: false,
             nat: None,
             icmp_min_interval: None,
+            icmp_rate_limit: None,
+            mpls_hidden: false,
+            filter_udp: false,
             responder: ResponderAddr::IncomingIface,
         }
     }
@@ -121,6 +156,23 @@ impl RouterConfig {
     pub fn with_fixed_responder(mut self) -> Self {
         self.responder = ResponderAddr::Fixed;
         self
+    }
+
+    /// A router that rate-limits originated ICMP with a token bucket.
+    pub fn rate_limited(interval: crate::time::SimDuration, burst: u32) -> Self {
+        RouterConfig { icmp_rate_limit: Some(IcmpRateLimit { interval, burst }), ..Self::default() }
+    }
+
+    /// An MPLS-LSP interior router: forwards (and decrements TTL) but
+    /// never sources Time Exceeded.
+    pub fn mpls_interior() -> Self {
+        RouterConfig { mpls_hidden: true, ..Self::default() }
+    }
+
+    /// A firewall that silently drops UDP transit while passing
+    /// TCP and ICMP.
+    pub fn udp_filter() -> Self {
+        RouterConfig { filter_udp: true, ..Self::default() }
     }
 }
 
@@ -238,6 +290,19 @@ mod tests {
         let cfg = nat.nat.as_ref().unwrap();
         assert!(cfg.is_inside(Ipv4Addr::new(10, 99, 3, 4)));
         assert!(!cfg.is_inside(Ipv4Addr::new(10, 98, 3, 4)));
+    }
+
+    #[test]
+    fn fault_constructors_set_their_knob() {
+        use crate::time::SimDuration;
+        let rl = RouterConfig::rate_limited(SimDuration::from_millis(10), 3);
+        assert_eq!(
+            rl.icmp_rate_limit,
+            Some(IcmpRateLimit { interval: SimDuration::from_millis(10), burst: 3 })
+        );
+        assert!(RouterConfig::mpls_interior().mpls_hidden);
+        assert!(!RouterConfig::mpls_interior().silent, "MPLS hiding is not plain silence");
+        assert!(RouterConfig::udp_filter().filter_udp);
     }
 
     #[test]

@@ -36,7 +36,7 @@ use crate::addr::Ipv4Prefix;
 use crate::arena::{PacketArena, PacketRef};
 use crate::node::{BalancerKind, HostConfig, NodeKind, RouterConfig};
 use crate::routing::{NextHop, NodeRouting, RouteDelta};
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use crate::topology::{Node, NodeId, Topology};
 use crate::wheel::EventWheel;
 
@@ -59,6 +59,10 @@ pub struct SimStats {
     pub dropped_silent: u64,
     /// ICMP suppressed by rate limiting.
     pub dropped_rate_limited: u64,
+    /// Packets that expired inside an MPLS tunnel (no Time Exceeded).
+    pub dropped_mpls_hidden: u64,
+    /// UDP transit packets dropped by protocol filters.
+    pub dropped_filtered: u64,
     /// Packets dropped for lack of a route.
     pub dropped_no_route: u64,
     /// Packets swallowed by blackhole routes.
@@ -99,6 +103,14 @@ struct NodeState {
     salt: u64,
     /// Last time this node generated an ICMP (for rate limiting).
     last_icmp: Option<SimTime>,
+    /// Token-bucket rate-limiter fill. `u32::MAX` is the untouched
+    /// sentinel (the bucket starts full on first use); the capacity
+    /// lives in the router's immutable config, so the slot stays a
+    /// pure function of `(seed, idx)`.
+    icmp_tokens: u32,
+    /// When `icmp_tokens` was last settled (whole-token boundaries
+    /// only, so fractional refill credit carries forward exactly).
+    icmp_tokens_at: SimTime,
     /// Whether this node is already listed in `Simulator::dirty_inboxes`
     /// for the current epoch (keeps that list O(distinct nodes), not
     /// O(deliveries)).
@@ -124,6 +136,8 @@ impl NodeState {
             rng: StdRng::seed_from_u64(node_seed),
             salt: splitmix64(node_seed ^ 0xabcd_ef01),
             last_icmp: None,
+            icmp_tokens: u32::MAX,
+            icmp_tokens_at: SimTime::ZERO,
             inbox_dirty: false,
             epoch,
         }
@@ -180,6 +194,8 @@ impl Simulator {
             rng: StdRng::seed_from_u64(0),
             salt: 0,
             last_icmp: None,
+            icmp_tokens: u32::MAX,
+            icmp_tokens_at: SimTime::ZERO,
             inbox_dirty: false,
             epoch: 0,
         };
@@ -359,8 +375,19 @@ impl Simulator {
     /// Allocates a fresh `Vec` per call — convenient in tests, wrong on
     /// hot paths. Library code should use [`Simulator::take_inbox_into`]
     /// (recycled buffer) or [`Simulator::pop_delivery`] instead.
+    ///
+    /// Debug builds enforce the epoch discipline: a node whose slot
+    /// still trails the simulator epoch has not participated in this
+    /// epoch at all, so any deliveries the caller hoped to read were
+    /// drained by [`Simulator::reset`]. Panicking beats silently
+    /// handing back an empty lane.
     #[doc(hidden)]
     pub fn take_inbox(&mut self, node: NodeId) -> Vec<(SimTime, Packet)> {
+        debug_assert_eq!(
+            self.state[node.0].epoch, self.epoch,
+            "take_inbox({node:?}) on a node untouched since the last reset: \
+             pre-reset deliveries were drained (stale-epoch read)"
+        );
         let mut out = Vec::new();
         self.take_inbox_into(node, &mut out);
         out
@@ -431,6 +458,13 @@ impl Simulator {
                 if iface_in.is_some() {
                     let ttl = self.arena.get(packet).ip.ttl;
                     if ttl == 0 || (ttl == 1 && !cfg.zero_ttl_forwarding) {
+                        if cfg.mpls_hidden {
+                            // LSP interior: the expired packet vanishes
+                            // inside the tunnel — no Time Exceeded.
+                            self.stats.dropped_mpls_hidden += 1;
+                            self.arena.release(packet);
+                            return;
+                        }
                         // Expired: quote the packet exactly as received —
                         // probe TTL 1 normally, 0 past a zero-TTL forwarder.
                         self.expire(node, iface_in, cfg, packet);
@@ -439,6 +473,16 @@ impl Simulator {
                     // Normal decrement; the Fig. 4 misconfiguration sends
                     // TTL 1 onward as TTL 0.
                     self.arena.get_mut(packet).ip.ttl -= 1;
+                    if cfg.filter_udp
+                        && matches!(self.arena.get(packet).transport, Transport::Udp(_))
+                    {
+                        // Firewall: UDP transit dies here, silently;
+                        // TCP and ICMP pass (and probes addressed to
+                        // the filter itself answered above).
+                        self.stats.dropped_filtered += 1;
+                        self.arena.release(packet);
+                        return;
+                    }
                 }
                 if let Some(code) = cfg.broken {
                     self.respond_unreachable(node, iface_in, cfg, packet, code);
@@ -658,13 +702,46 @@ impl Simulator {
     }
 
     fn rate_limited(&mut self, node: NodeId, cfg: &RouterConfig) -> bool {
-        let Some(min) = cfg.icmp_min_interval else { return false };
+        if cfg.icmp_min_interval.is_none() && cfg.icmp_rate_limit.is_none() {
+            return false;
+        }
         self.freshen(node);
         let state = &mut self.state[node.0];
-        if let Some(last) = state.last_icmp {
-            if self.clock.since(last) < min {
+        if let Some(min) = cfg.icmp_min_interval {
+            if let Some(last) = state.last_icmp {
+                if self.clock.since(last) < min {
+                    return true;
+                }
+            }
+        }
+        if let Some(tb) = cfg.icmp_rate_limit {
+            if state.icmp_tokens == u32::MAX {
+                // First touch after (re-)derivation: the bucket starts
+                // full. The sentinel keeps `NodeState::fresh` a pure
+                // function of `(seed, idx)` without knowing `burst`.
+                state.icmp_tokens = tb.burst;
+                state.icmp_tokens_at = self.clock;
+            } else {
+                let interval = tb.interval.nanos().max(1);
+                let minted = self.clock.since(state.icmp_tokens_at).nanos() / interval;
+                if minted > 0 {
+                    let fill = u64::from(state.icmp_tokens).saturating_add(minted);
+                    if fill >= u64::from(tb.burst) {
+                        state.icmp_tokens = tb.burst;
+                        // A full bucket stops accruing credit.
+                        state.icmp_tokens_at = self.clock;
+                    } else {
+                        state.icmp_tokens = fill as u32;
+                        // Advance by whole tokens only, so fractional
+                        // refill credit carries to the next ICMP.
+                        state.icmp_tokens_at += SimDuration::from_nanos(minted * interval);
+                    }
+                }
+            }
+            if state.icmp_tokens == 0 {
                 return true;
             }
+            state.icmp_tokens -= 1;
         }
         state.last_icmp = Some(self.clock);
         false
@@ -817,7 +894,7 @@ impl Simulator {
         }
         let other = link.other_end(node);
         self.stats.forwarded += 1;
-        let at = self.clock + link.delay;
+        let at = self.clock + link.delay_from(node);
         self.schedule(
             at,
             EventKind::Arrival { node: other.node, iface_in: Some(other.iface), packet },
@@ -1435,5 +1512,166 @@ mod tests {
         sim.run_to_quiescence();
         assert_eq!(sim.take_inbox(s).len(), 1, "second ICMP rate-limited");
         assert_eq!(sim.stats().dropped_rate_limited, 1);
+    }
+
+    /// S — r — D with a caller-chosen config on r.
+    fn chain_with_router(cfg: RouterConfig) -> (Arc<Topology>, NodeId, Ipv4Addr) {
+        let mut b = TopologyBuilder::new();
+        let s = b.host("S", HostConfig::default());
+        let r = b.router("r", cfg);
+        let d = b.host("D", HostConfig::default());
+        b.link(s, r, SimDuration::from_millis(1), 0.0);
+        b.link(r, d, SimDuration::from_millis(1), 0.0);
+        b.default_via(s, r);
+        b.default_via(r, d);
+        b.default_via(d, r);
+        let s_pfx = b.subnet_of(s);
+        b.route_via(r, s_pfx, s);
+        let dst = b.addr_of(d);
+        (Arc::new(b.build()), s, dst)
+    }
+
+    #[test]
+    fn token_bucket_allows_burst_then_throttles_to_rate() {
+        use crate::node::IcmpRateLimit;
+        let cfg = RouterConfig {
+            icmp_rate_limit: Some(IcmpRateLimit {
+                interval: SimDuration::from_millis(100),
+                burst: 3,
+            }),
+            ..RouterConfig::default()
+        };
+        let (topo, s, dst) = chain_with_router(cfg);
+        let mut sim = Simulator::new(topo.clone(), 4);
+        let src = src_addr(&topo, s);
+        // Five back-to-back probes: the first three ride the burst, the
+        // rest find an empty bucket.
+        for i in 0..5 {
+            sim.inject(s, udp_probe(src, dst, 1, 33435 + i));
+        }
+        sim.run_to_quiescence();
+        assert_eq!(sim.take_inbox(s).len(), 3, "burst admits exactly `burst` ICMPs");
+        assert_eq!(sim.stats().dropped_rate_limited, 2);
+        // After one refill interval a single token is back: a retry at
+        // lower rate resolves where the back-to-back probe starred.
+        sim.run_until(sim.now() + SimDuration::from_millis(100));
+        sim.inject(s, udp_probe(src, dst, 1, 33440));
+        sim.inject(s, udp_probe(src, dst, 1, 33441));
+        sim.run_to_quiescence();
+        assert_eq!(sim.take_inbox(s).len(), 1, "one minted token, one answer");
+    }
+
+    #[test]
+    fn token_bucket_is_deterministic_across_reset() {
+        use crate::node::IcmpRateLimit;
+        let cfg = RouterConfig {
+            icmp_rate_limit: Some(IcmpRateLimit {
+                interval: SimDuration::from_millis(50),
+                burst: 2,
+            }),
+            ..RouterConfig::default()
+        };
+        let (topo, s, dst) = chain_with_router(cfg);
+        let run = |sim: &mut Simulator| {
+            let src = src_addr(sim.topology(), s);
+            for i in 0..4 {
+                sim.inject(s, udp_probe(src, dst, 1, 34000 + i));
+            }
+            sim.run_to_quiescence();
+            (sim.take_inbox(s).len(), sim.stats().dropped_rate_limited)
+        };
+        let mut fresh = Simulator::new(topo.clone(), 42);
+        let expected = run(&mut fresh);
+        let mut reused = Simulator::new(topo.clone(), 7);
+        let _ = run(&mut reused);
+        reused.reset(42);
+        assert_eq!(run(&mut reused), expected, "bucket state must re-derive after reset");
+    }
+
+    #[test]
+    fn mpls_interior_hides_expiry_but_forwards_and_answers_direct_probes() {
+        let (topo, s, dst) = chain_with_router(RouterConfig::mpls_interior());
+        let mut sim = Simulator::new(topo.clone(), 6);
+        let src = src_addr(&topo, s);
+        // TTL 1 expires inside the "tunnel": no Time Exceeded, ever.
+        sim.inject(s, udp_probe(src, dst, 1, 33435));
+        sim.run_to_quiescence();
+        assert!(sim.take_inbox(s).is_empty(), "LSP interior sources no ICMP");
+        assert_eq!(sim.stats().dropped_mpls_hidden, 1);
+        // Transit is label-switched through just fine.
+        sim.inject(s, udp_probe(src, dst, 5, 33436));
+        sim.run_to_quiescence();
+        assert_eq!(sim.take_inbox(s).len(), 1, "transit unaffected");
+        // And unlike `silent`, a probe addressed *to* the router answers.
+        let r_addr = topo.node(topo.find("r").unwrap()).ifaces[0].addr;
+        sim.inject(s, udp_probe(src, r_addr, 5, 33437));
+        sim.run_to_quiescence();
+        assert_eq!(sim.take_inbox(s).len(), 1, "direct probe still answered");
+    }
+
+    #[test]
+    fn udp_filter_drops_udp_transit_but_passes_tcp_and_icmp() {
+        let (topo, s, dst) = chain_with_router(RouterConfig::udp_filter());
+        let mut sim = Simulator::new(topo.clone(), 8);
+        let src = src_addr(&topo, s);
+        // UDP toward the destination dies at the firewall.
+        sim.inject(s, udp_probe(src, dst, 5, 33435));
+        sim.run_to_quiescence();
+        assert!(sim.take_inbox(s).is_empty(), "UDP transit filtered");
+        assert_eq!(sim.stats().dropped_filtered, 1);
+        // The firewall itself still answers expiring probes (TTL 1).
+        sim.inject(s, udp_probe(src, dst, 1, 33436));
+        sim.run_to_quiescence();
+        assert_eq!(sim.take_inbox(s).len(), 1, "expiry at the filter answers");
+        // ICMP echo passes the filter and draws a reply.
+        let ip = Ipv4Header::new(src, dst, protocol::ICMP, 30);
+        sim.inject(s, Packet::new(ip, Transport::Icmp(IcmpMessage::echo_probe_classic(5, 1))));
+        sim.run_to_quiescence();
+        assert_eq!(sim.take_inbox(s).len(), 1, "ICMP passes");
+        // TCP SYN passes and draws a SYN-ACK/RST.
+        let ip = Ipv4Header::new(src, dst, protocol::TCP, 30);
+        let syn = TcpSegment::syn_probe(33000, 80, 7);
+        sim.inject(s, Packet::new(ip, Transport::Tcp(syn)));
+        sim.run_to_quiescence();
+        assert_eq!(sim.take_inbox(s).len(), 1, "TCP passes");
+    }
+
+    #[test]
+    fn asymmetric_link_delay_skews_the_return_direction() {
+        let mut b = TopologyBuilder::new();
+        let s = b.host("S", HostConfig::default());
+        let r = b.router("r", RouterConfig::default());
+        let d = b.host("D", HostConfig::default());
+        b.link(s, r, SimDuration::from_millis(1), 0.0);
+        // Forward r→D costs 1 ms, return D→r costs 9 ms.
+        b.link_asym(r, d, SimDuration::from_millis(1), SimDuration::from_millis(9), 0.0);
+        b.default_via(s, r);
+        b.default_via(r, d);
+        b.default_via(d, r);
+        let s_pfx = b.subnet_of(s);
+        b.route_via(r, s_pfx, s);
+        let dst = b.addr_of(d);
+        let topo = Arc::new(b.build());
+        let mut sim = Simulator::new(topo.clone(), 2);
+        let t0 = sim.now();
+        sim.inject(s, udp_probe(src_addr(&topo, s), dst, 30, 34567));
+        sim.run_to_quiescence();
+        let rtt = sim.take_inbox(s)[0].0.since(t0);
+        // 1 + 1 out, 9 + 1 back.
+        assert_eq!(rtt, SimDuration::from_millis(12), "reverse path dominates the RTT");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "stale-epoch read")]
+    fn take_inbox_panics_on_a_stale_epoch_read() {
+        let (topo, s, _d, dst) = chain();
+        let mut sim = Simulator::new(topo.clone(), 1);
+        sim.inject(s, udp_probe(src_addr(&topo, s), dst, 1, 33435));
+        sim.run_to_quiescence();
+        // Reset drains the lane; reading it without re-touching the
+        // node is exactly the silent-empty bug the assert catches.
+        sim.reset(1);
+        let _ = sim.take_inbox(s);
     }
 }

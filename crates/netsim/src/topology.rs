@@ -41,13 +41,18 @@ pub struct Interface {
     pub link: Option<LinkId>,
 }
 
-/// A point-to-point link with symmetric delay and loss.
+/// A point-to-point link with per-direction delay and loss.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Link {
     /// The two attached endpoints.
     pub endpoints: [Endpoint; 2],
-    /// One-way propagation delay.
+    /// Propagation delay `endpoints[0] → endpoints[1]`.
     pub delay: SimDuration,
+    /// Propagation delay `endpoints[1] → endpoints[0]`. Equal to
+    /// `delay` for the common symmetric link; an asymmetric return
+    /// path (planted via [`crate::builder::TopologyBuilder::link_asym`])
+    /// skews RTTs without changing hop counts.
+    pub delay_back: SimDuration,
     /// Probability in `[0, 1]` that a traversal silently drops the packet.
     pub loss: f64,
 }
@@ -59,6 +64,15 @@ impl Link {
             self.endpoints[1]
         } else {
             self.endpoints[0]
+        }
+    }
+
+    /// The traversal delay for a packet leaving `node` over this link.
+    pub fn delay_from(&self, node: NodeId) -> SimDuration {
+        if self.endpoints[0].node == node {
+            self.delay
+        } else {
+            self.delay_back
         }
     }
 }

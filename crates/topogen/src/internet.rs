@@ -72,6 +72,27 @@ pub struct InternetConfig {
     pub link_delay: SimDuration,
     /// Flow-hash policy installed on per-flow balancers.
     pub flow_policy: FlowPolicy,
+    /// Probability each chain router rate-limits the ICMP it sources
+    /// (token bucket; the dominant modern star cause). New hostile
+    /// knobs consume RNG draws only when non-zero, so fault-free
+    /// configs generate byte-identical networks to older seeds.
+    pub rate_limited_router: f64,
+    /// Planted limiter: time to mint one token (1 / rate).
+    pub rate_limit_interval: SimDuration,
+    /// Planted limiter: bucket capacity (back-to-back ICMP budget).
+    pub rate_limit_burst: u32,
+    /// Probability a branch routes through an MPLS tunnel whose
+    /// interior routers decrement TTL without sourcing Time Exceeded.
+    pub mpls_tunnel: f64,
+    /// Interior (hidden) routers per planted tunnel.
+    pub mpls_run_len: usize,
+    /// Probability a branch carries a firewall that silently drops UDP
+    /// transit while passing TCP and ICMP.
+    pub udp_filter: f64,
+    /// Probability a branch's links get a skewed (slower) return path.
+    pub asym_return: f64,
+    /// Extra return-direction delay on planted asymmetric branches.
+    pub asym_extra_delay: SimDuration,
 }
 
 impl Default for InternetConfig {
@@ -95,6 +116,14 @@ impl Default for InternetConfig {
             link_loss: 0.0005,
             link_delay: SimDuration::from_millis(1),
             flow_policy: FlowPolicy::FiveTuple,
+            rate_limited_router: 0.0,
+            rate_limit_interval: SimDuration::from_secs(5),
+            rate_limit_burst: 1,
+            mpls_tunnel: 0.0,
+            mpls_run_len: 3,
+            udp_filter: 0.0,
+            asym_return: 0.0,
+            asym_extra_delay: SimDuration::from_millis(5),
         }
     }
 }
@@ -103,6 +132,19 @@ impl InternetConfig {
     /// A small instance for unit tests.
     pub fn tiny(seed: u64) -> Self {
         InternetConfig { seed, n_destinations: 40, n_core: 3, ..Self::default() }
+    }
+
+    /// A tiny instance with all four hostile-network knobs on: ICMP
+    /// token-bucket rate limiters, MPLS hop hiding, UDP firewalls and
+    /// asymmetric return paths — the adaptive-tracer proving ground.
+    pub fn hostile(seed: u64) -> Self {
+        InternetConfig {
+            rate_limited_router: 0.22,
+            mpls_tunnel: 0.15,
+            udp_filter: 0.15,
+            asym_return: 0.25,
+            ..Self::tiny(seed)
+        }
     }
 }
 
@@ -127,6 +169,14 @@ pub struct DestTruth {
     pub silent_routers: u8,
     /// The destination ignores UDP/TCP probes.
     pub firewalled: bool,
+    /// Number of token-bucket ICMP rate limiters on the path.
+    pub rate_limited_routers: u8,
+    /// Number of MPLS-hidden (no Time Exceeded) hops on the path.
+    pub mpls_hops: u8,
+    /// A firewall on the path silently drops UDP transit.
+    pub udp_filtered: bool,
+    /// The branch's return path carries extra (asymmetric) delay.
+    pub asym_return: bool,
 }
 
 impl DestTruth {
@@ -146,6 +196,13 @@ impl DestTruth {
     /// multipath campaign is validated against.
     pub fn balancer(&self) -> Option<(u8, u8, bool)> {
         self.has_balancer().then_some((self.lb_width, self.lb_delta, self.per_packet_lb))
+    }
+
+    /// Whether any of the PR-6 hostile faults (rate limiter, MPLS
+    /// hiding, UDP filter, asymmetric return) was planted here — the
+    /// population the adaptive walker must recover.
+    pub fn any_hostile_fault(&self) -> bool {
+        self.rate_limited_routers > 0 || self.mpls_hops > 0 || self.udp_filtered || self.asym_return
     }
 }
 
@@ -288,14 +345,40 @@ fn build_branch(
     let mut chain: Vec<NodeId> = Vec::new();
     let loss = config.link_loss;
 
-    let router = |b: &mut TopologyBuilder, name: String, silent: bool| {
+    // Per-branch asymmetric return path: every link on the branch gets
+    // extra reverse-direction delay, skewing RTTs without touching hop
+    // counts. Drawn only when the knob is on, so fault-free configs
+    // spend no RNG state and generate byte-identical networks.
+    if config.asym_return > 0.0 && rng.gen_bool(config.asym_return) {
+        truth.asym_return = true;
+    }
+    let back = if truth.asym_return {
+        SimDuration::from_nanos(delay.nanos() + config.asym_extra_delay.nanos())
+    } else {
+        delay
+    };
+
+    // A branch router, possibly silent, possibly ICMP-rate-limited
+    // (the latter drawn here so `truth` keeps count).
+    fn plant_router(
+        b: &mut TopologyBuilder,
+        rng: &mut StdRng,
+        config: &InternetConfig,
+        truth: &mut DestTruth,
+        name: String,
+        silent: bool,
+    ) -> NodeId {
         let cfg = if silent {
             RouterConfig::silent()
+        } else if config.rate_limited_router > 0.0 && rng.gen_bool(config.rate_limited_router) {
+            truth.rate_limited_routers += 1;
+            RouterConfig::rate_limited(config.rate_limit_interval, config.rate_limit_burst)
+                .with_fixed_responder()
         } else {
             RouterConfig::default().with_fixed_responder()
         };
         b.router(&name, cfg)
-    };
+    }
 
     // Plain chain part.
     let chain_len = rng.gen_range(config.branch_len_min..=config.branch_len_max);
@@ -305,8 +388,8 @@ fn build_branch(
         if silent {
             truth.silent_routers += 1;
         }
-        let r = router(b, format!("d{di}-t{i}"), silent);
-        b.link(prev, r, delay, loss);
+        let r = plant_router(b, rng, config, &mut truth, format!("d{di}-t{i}"), silent);
+        b.link_asym(prev, r, delay, back, loss);
         b.route_via(r, s_prefix, prev);
         if prev != owner {
             b.default_via(prev, r);
@@ -315,6 +398,38 @@ fn build_branch(
         prev = r;
     }
     let head = chain[0];
+
+    // Optional MPLS tunnel: a run of interior routers that decrement
+    // TTL without sourcing Time Exceeded. Spliced *before* the diamond
+    // so a walker that abandons inside the tunnel never sees what lies
+    // beyond — the recovery the adaptive walker must make.
+    if config.mpls_tunnel > 0.0 && rng.gen_bool(config.mpls_tunnel) {
+        truth.mpls_hops = config.mpls_run_len as u8;
+        for s in 0..config.mpls_run_len {
+            let r = b.router(&format!("d{di}-m{s}"), RouterConfig::mpls_interior());
+            b.link_asym(prev, r, delay, back, loss);
+            b.route_via(r, s_prefix, prev);
+            if prev != owner {
+                b.default_via(prev, r);
+            }
+            chain.push(r);
+            prev = r;
+        }
+    }
+
+    // Optional UDP-dropping firewall, also ahead of the diamond: a
+    // UDP-only walker dies here with trailing stars; TCP/ICMP pass.
+    if config.udp_filter > 0.0 && rng.gen_bool(config.udp_filter) {
+        truth.udp_filtered = true;
+        let f = b.router(&format!("d{di}-W"), RouterConfig::udp_filter().with_fixed_responder());
+        b.link_asym(prev, f, delay, back, loss);
+        b.route_via(f, s_prefix, prev);
+        if prev != owner {
+            b.default_via(prev, f);
+        }
+        chain.push(f);
+        prev = f;
+    }
 
     // Optional load-balanced diamond.
     let lb_roll: f64 = rng.gen();
@@ -341,21 +456,21 @@ fn build_branch(
         truth.lb_width = width as u8;
         // L balances over `width` parallel paths; the first path has one
         // router, the others one or (first alternate) 1 + delta.
-        let l = router(b, format!("d{di}-L"), false);
-        b.link(prev, l, delay, loss);
+        let l = plant_router(b, rng, config, &mut truth, format!("d{di}-L"), false);
+        b.link_asym(prev, l, delay, back, loss);
         b.route_via(l, s_prefix, prev);
         if prev != owner {
             b.default_via(prev, l);
         }
         chain.push(l);
-        let merge = router(b, format!("d{di}-M"), false);
+        let merge = plant_router(b, rng, config, &mut truth, format!("d{di}-M"), false);
         let mut heads = Vec::new();
         for w in 0..width {
             let len = if w == 1 { 1 + delta } else { 1 };
             let mut p = l;
             for s in 0..len {
-                let r = router(b, format!("d{di}-b{w}x{s}"), false);
-                b.link(p, r, delay, loss);
+                let r = plant_router(b, rng, config, &mut truth, format!("d{di}-b{w}x{s}"), false);
+                b.link_asym(p, r, delay, back, loss);
                 b.route_via(r, s_prefix, p);
                 if p != l {
                     b.default_via(p, r);
@@ -365,7 +480,7 @@ fn build_branch(
                 }
                 p = r;
             }
-            b.link(p, merge, delay, loss);
+            b.link_asym(p, merge, delay, back, loss);
             b.default_via(p, merge);
             if w == 0 {
                 b.route_via(merge, s_prefix, p);
@@ -381,15 +496,15 @@ fn build_branch(
     if rng.gen_bool(config.zero_ttl) {
         truth.zero_ttl = true;
         let f = b.router(&format!("d{di}-F"), RouterConfig::zero_ttl_forwarder());
-        b.link(prev, f, delay, loss);
+        b.link_asym(prev, f, delay, back, loss);
         b.route_via(f, s_prefix, prev);
         if prev != owner {
             b.default_via(prev, f);
         }
         chain.push(f);
         prev = f;
-        let after = router(b, format!("d{di}-Fa"), false);
-        b.link(prev, after, delay, loss);
+        let after = plant_router(b, rng, config, &mut truth, format!("d{di}-Fa"), false);
+        b.link_asym(prev, after, delay, back, loss);
         b.route_via(after, s_prefix, prev);
         b.default_via(prev, after);
         chain.push(after);
@@ -401,7 +516,7 @@ fn build_branch(
         truth.broken = true;
         let u =
             b.router(&format!("d{di}-U"), RouterConfig::broken_forwarding(UnreachableCode::Host));
-        b.link(prev, u, delay, loss);
+        b.link_asym(prev, u, delay, back, loss);
         b.route_via(u, s_prefix, prev);
         if prev != owner {
             b.default_via(prev, u);
@@ -421,7 +536,7 @@ fn build_branch(
     if rng.gen_bool(config.nat) {
         truth.nat = true;
         let n = b.router(&format!("d{di}-N"), RouterConfig::default());
-        b.link(prev, n, delay, loss);
+        b.link_asym(prev, n, delay, back, loss);
         b.route_via(n, s_prefix, prev);
         if prev != owner {
             b.default_via(prev, n);
@@ -431,14 +546,14 @@ fn build_branch(
         let mut inner_prefixes = vec![b.subnet_of(dest)];
         let mut p = n;
         for s in 0..inner_count {
-            let r = router(b, format!("d{di}-n{s}"), false);
+            let r = plant_router(b, rng, config, &mut truth, format!("d{di}-n{s}"), false);
             inner_prefixes.push(b.subnet_of(r));
-            b.link(p, r, delay, loss);
+            b.link_asym(p, r, delay, back, loss);
             b.route_via(r, s_prefix, p);
             b.default_via(p, r);
             p = r;
         }
-        b.link(p, dest, delay, loss);
+        b.link_asym(p, dest, delay, back, loss);
         b.default_via(p, dest);
         b.default_via(dest, p);
         // N's public face is its upstream interface.
@@ -447,7 +562,7 @@ fn build_branch(
         cfg.responder = pt_netsim::node::ResponderAddr::Fixed;
         b.set_router_config(n, cfg);
     } else {
-        b.link(prev, dest, delay, loss);
+        b.link_asym(prev, dest, delay, back, loss);
         b.default_via(prev, dest);
         b.default_via(dest, prev);
     }
@@ -507,6 +622,54 @@ mod tests {
         let frac = with_lb as f64 / 2000.0;
         assert!((frac - 0.5).abs() < 0.05, "per-flow prevalence {frac} far from 0.5");
         assert!(net.dests.iter().all(|d| !d.truth.nat && !d.truth.broken && !d.truth.zero_ttl));
+    }
+
+    #[test]
+    fn hostile_knobs_plant_all_four_faults_and_defaults_stay_clean() {
+        let clean = generate(&InternetConfig::tiny(42));
+        assert!(
+            clean.dests.iter().all(|d| !d.truth.any_hostile_fault()),
+            "fault-free configs must plant no hostile faults"
+        );
+        let hostile = generate(&InternetConfig::hostile(42));
+        let rate = hostile.dests.iter().filter(|d| d.truth.rate_limited_routers > 0).count();
+        let mpls = hostile.dests.iter().filter(|d| d.truth.mpls_hops > 0).count();
+        let filt = hostile.dests.iter().filter(|d| d.truth.udp_filtered).count();
+        let asym = hostile.dests.iter().filter(|d| d.truth.asym_return).count();
+        assert!(rate > 0, "no rate limiters planted");
+        assert!(mpls > 0, "no MPLS tunnels planted");
+        assert!(filt > 0, "no UDP filters planted");
+        assert!(asym > 0, "no asymmetric returns planted");
+        // Determinism holds with the hostile knobs on.
+        let again = generate(&InternetConfig::hostile(42));
+        let ta: Vec<_> = hostile.dests.iter().map(|d| d.truth).collect();
+        let tb: Vec<_> = again.dests.iter().map(|d| d.truth).collect();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn hostile_branches_still_terminate_traces() {
+        // Every fault on at once: traces must still halt (terminal,
+        // star limit, or max TTL) — the simulator must never hang.
+        let config = InternetConfig {
+            seed: 23,
+            rate_limited_router: 0.5,
+            mpls_tunnel: 0.5,
+            udp_filter: 0.5,
+            asym_return: 0.5,
+            ..InternetConfig::tiny(23)
+        };
+        let net = generate(&config);
+        let mut tx = pt_netsim::SimTransport::new(
+            pt_netsim::Simulator::new(net.topology.clone(), 5),
+            net.source,
+        );
+        for (i, d) in net.dests.iter().enumerate() {
+            let mut strat = pt_core::ParisUdp::new(41000 + i as u16, 50000);
+            let route =
+                pt_core::trace(&mut tx, &mut strat, d.addr, pt_core::TraceConfig::default());
+            assert!(!route.hops.is_empty(), "destination {i}");
+        }
     }
 
     #[test]

@@ -115,6 +115,22 @@ pub mod strategy {
 
     impl_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
+    // Floats get the two bounded forms only (no `RangeFrom`: an upper
+    // bound of `f64::MAX` is never what a property means).
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            rng.0.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            rng.0.gen_range(self.clone())
+        }
+    }
+
     macro_rules! impl_tuple_strategy {
         ($($name:ident),+) => {
             impl<$($name: Strategy),+> Strategy for ($($name,)+) {

@@ -1,0 +1,87 @@
+//! Hostile-network ground truth: the adaptive walker recovers the
+//! destinations the fixed-rate walker gets wrong.
+//!
+//! The generator plants all four PR-6 faults — token-bucket ICMP rate
+//! limiters, MPLS-hidden hop runs, UDP-dropping firewalls, asymmetric
+//! return paths — and records them per destination
+//! (`DestTruth::any_hostile_fault`). A fixed-rate campaign and an
+//! adaptive campaign walk the same networks; the adaptive one must fix
+//! at least 90% of the fixed walker's hostile-destination failures
+//! without ever inventing a balancer on a plain destination.
+
+use paris_traceroute_repro::campaign::{
+    run_multipath, validate_fault_recovery, FaultRecoveryScore, MultipathConfig,
+};
+use paris_traceroute_repro::topogen::{generate, InternetConfig};
+
+const SEEDS: [u64; 3] = [42, 7, 2006];
+
+fn campaigns_for(seed: u64) -> FaultRecoveryScore {
+    let net = generate(&InternetConfig::hostile(seed));
+    let fixed = run_multipath(&net, &MultipathConfig { workers: 4, seed, ..Default::default() });
+    let adaptive = run_multipath(
+        &net,
+        &MultipathConfig { workers: 4, seed, adaptive: true, ..Default::default() },
+    );
+    validate_fault_recovery(&net, &fixed, &adaptive)
+}
+
+#[test]
+fn adaptive_walker_recovers_what_the_fixed_walker_misses() {
+    let mut fixed_wrong = 0usize;
+    let mut recovered = 0usize;
+    let mut hostile = 0usize;
+    for seed in SEEDS {
+        let score = campaigns_for(seed);
+        eprintln!("seed {seed}: {score:?} (recovery {:.3})", score.recovery_rate());
+        assert_eq!(
+            score.false_balancers, 0,
+            "seed {seed}: adaptive walker invented balancers: {score:?}"
+        );
+        assert!(score.hostile_dests > 0, "seed {seed}: no hostile faults planted");
+        fixed_wrong += score.fixed_wrong;
+        recovered += score.recovered;
+        hostile += score.hostile_dests;
+    }
+    // The faults must actually corrupt the fixed-rate walker — a
+    // harmless fault layer would make the recovery claim vacuous.
+    assert!(
+        fixed_wrong * 3 >= hostile,
+        "faults barely hurt the fixed walker: {fixed_wrong} wrong of {hostile} hostile"
+    );
+    let rate = recovered as f64 / fixed_wrong as f64;
+    assert!(
+        rate >= 0.9,
+        "adaptive walker recovered only {recovered}/{fixed_wrong} ({rate:.3}) of the \
+         fixed walker's hostile-destination failures"
+    );
+}
+
+#[test]
+fn adaptive_overhead_on_fault_free_networks_is_bounded() {
+    // On networks with no hostile faults none of the adaptive
+    // machinery should engage beyond its (clamped) deeper retry
+    // budget: the walk must cost at most 1.3x the fixed walker's
+    // virtual probing time per destination.
+    for seed in SEEDS {
+        let net = generate(&InternetConfig::tiny(seed));
+        let fixed =
+            run_multipath(&net, &MultipathConfig { workers: 4, seed, ..Default::default() });
+        let adaptive = run_multipath(
+            &net,
+            &MultipathConfig { workers: 4, seed, adaptive: true, ..Default::default() },
+        );
+        let ratio = adaptive.mean_virtual_secs / fixed.mean_virtual_secs;
+        eprintln!(
+            "seed {seed}: fixed {:.3}s adaptive {:.3}s ratio {ratio:.3}",
+            fixed.mean_virtual_secs, adaptive.mean_virtual_secs
+        );
+        assert!(
+            ratio <= 1.3,
+            "seed {seed}: adaptive overhead {ratio:.3} exceeds the 1.3x gate \
+             (fixed {:.3}s, adaptive {:.3}s)",
+            fixed.mean_virtual_secs,
+            adaptive.mean_virtual_secs
+        );
+    }
+}

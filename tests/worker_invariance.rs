@@ -83,6 +83,37 @@ fn multipath_digest_is_byte_identical_for_workers_1_4_8() {
 }
 
 #[test]
+fn adaptive_multipath_digest_is_worker_invariant_under_faults() {
+    // The PR-6 adaptive machinery (backoff jitter, pacing, protocol
+    // fallback) must not leak worker identity either: its jitter seed
+    // derives from the unit stream, and every retry/backoff decision is
+    // a function of the unit's own probe history — so even on a network
+    // with all four hostile faults planted, the adaptive digest is
+    // byte-identical across worker counts.
+    let net = generate(&InternetConfig::hostile(42));
+    let campaign = |workers: usize| {
+        let config =
+            MultipathConfig { rounds: 2, workers, seed: 99, adaptive: true, ..Default::default() };
+        run_multipath(&net, &config)
+    };
+    let baseline = campaign(1);
+    let baseline_digest = multipath_digest(&baseline);
+    for workers in [4, 8] {
+        let result = campaign(workers);
+        assert_eq!(
+            multipath_digest(&result),
+            baseline_digest,
+            "adaptive digest must not depend on worker count (workers = {workers})"
+        );
+        assert_eq!(
+            result.mean_virtual_secs.to_bits(),
+            baseline.mean_virtual_secs.to_bits(),
+            "workers = {workers}"
+        );
+    }
+}
+
+#[test]
 fn mean_virtual_secs_is_worker_count_independent() {
     // Float summation order is pinned by sorting per-unit times into
     // unit order before reducing, so even the f64 is bit-identical.
