@@ -107,6 +107,65 @@ impl DestinationGraph {
     pub fn is_diamond(&self, head: Ipv4Addr, tail: Ipv4Addr) -> bool {
         self.triples.get(&(head, tail)).is_some_and(|m| m.len() >= 2)
     }
+
+    /// Serialize this graph into the campaign checkpoint's line format:
+    /// a `graph` header carrying the ingest count and triple-key count,
+    /// then one `tri` line per `(head, tail)` key in sorted order, so
+    /// identical graph *contents* always produce identical bytes.
+    pub fn snapshot_write(&self, out: &mut String) {
+        use std::fmt::Write;
+        let mut keys: Vec<(Ipv4Addr, Ipv4Addr)> = self.triples.keys().copied().collect();
+        keys.sort_unstable();
+        let _ = writeln!(out, "graph {} {}", self.routes_ingested, keys.len());
+        for key in keys {
+            let mids = &self.triples[&key];
+            let _ = write!(out, "tri {} {} {}", key.0, key.1, mids.len());
+            for m in mids {
+                let _ = write!(out, " {m}");
+            }
+            out.push('\n');
+        }
+    }
+
+    /// Parse one graph back out of the checkpoint line stream — the
+    /// inverse of [`DestinationGraph::snapshot_write`].
+    pub fn snapshot_read<'a>(
+        lines: &mut impl Iterator<Item = &'a str>,
+    ) -> Result<DestinationGraph, String> {
+        let header = lines.next().ok_or("missing graph header")?;
+        let mut t = header.split_ascii_whitespace();
+        if t.next() != Some("graph") {
+            return Err(format!("expected graph header, got {header:?}"));
+        }
+        let routes_ingested: usize =
+            t.next().ok_or("graph: missing route count")?.parse().map_err(|e| format!("{e}"))?;
+        let n_keys: usize =
+            t.next().ok_or("graph: missing key count")?.parse().map_err(|e| format!("{e}"))?;
+        let mut g = DestinationGraph { triples: HashMap::default(), routes_ingested };
+        for _ in 0..n_keys {
+            let line = lines.next().ok_or("graph: truncated triple list")?;
+            let mut t = line.split_ascii_whitespace();
+            if t.next() != Some("tri") {
+                return Err(format!("expected tri line, got {line:?}"));
+            }
+            let head: Ipv4Addr =
+                t.next().ok_or("tri: missing head")?.parse().map_err(|e| format!("{e}"))?;
+            let tail: Ipv4Addr =
+                t.next().ok_or("tri: missing tail")?.parse().map_err(|e| format!("{e}"))?;
+            let n_mids: usize =
+                t.next().ok_or("tri: missing middle count")?.parse().map_err(|e| format!("{e}"))?;
+            let mids = g.triples.entry((head, tail)).or_default();
+            for _ in 0..n_mids {
+                let m: Ipv4Addr = t
+                    .next()
+                    .ok_or("tri: truncated middles")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                mids.insert(m);
+            }
+        }
+        Ok(g)
+    }
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::net::Ipv4Addr;
 
-use pt_core::{MeasuredRoute, StrategyId};
+use pt_core::{HaltReason, MeasuredRoute, StrategyId};
 use pt_netsim::routing::AddrHashBuilder;
 
 use crate::cycle::{find_cycles, CycleCause};
@@ -77,6 +77,7 @@ pub struct CampaignAccumulator {
     stars: u64,
     mid_route_stars: u64,
     reached: u64,
+    degraded_routes: u64,
 }
 
 impl CampaignAccumulator {
@@ -104,6 +105,7 @@ impl CampaignAccumulator {
             stars: 0,
             mid_route_stars: 0,
             reached: 0,
+            degraded_routes: 0,
         }
     }
 
@@ -126,6 +128,9 @@ impl CampaignAccumulator {
         self.responses += (route.probes_sent() - route.stars()) as u64;
         if route.reached_destination() {
             self.reached += 1;
+        }
+        if route.halt == HaltReason::Budget {
+            self.degraded_routes += 1;
         }
 
         let loops = find_loops(route);
@@ -192,6 +197,7 @@ impl CampaignAccumulator {
         self.stars += other.stars;
         self.mid_route_stars += other.mid_route_stars;
         self.reached += other.reached;
+        self.degraded_routes += other.degraded_routes;
     }
 
     /// Every responding address discovered across the campaign.
@@ -254,6 +260,7 @@ impl CampaignAccumulator {
             responses: self.responses,
             stars: self.stars,
             mid_route_stars: self.mid_route_stars,
+            degraded_routes: self.degraded_routes,
             pct_routes_reaching_destination: pct(self.reached, self.routes_total),
             pct_routes_with_loop: pct(self.routes_with_loop, self.routes_total),
             pct_dests_with_loop: pct(self.dests_with_loop.len() as u64, self.dests.len() as u64),
@@ -270,6 +277,262 @@ impl CampaignAccumulator {
             pct_dests_with_diamond: pct(dests_with_diamond, self.graphs.len() as u64),
         }
     }
+
+    /// Serialize this accumulator into the campaign checkpoint's line
+    /// format. Every set and map is emitted in sorted order, so two
+    /// accumulators with equal *contents* — however the campaign was
+    /// sharded across workers and merged — produce identical bytes.
+    pub fn snapshot_write(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = writeln!(out, "acc {}", self.tool.name());
+        let _ = write!(out, "rounds {}", self.rounds_seen.len());
+        for r in &self.rounds_seen {
+            let _ = write!(out, " {r}");
+        }
+        out.push('\n');
+        let _ = writeln!(
+            out,
+            "counts {} {} {} {} {} {} {} {} {}",
+            self.routes_total,
+            self.routes_with_loop,
+            self.routes_with_cycle,
+            self.probes_sent,
+            self.responses,
+            self.stars,
+            self.mid_route_stars,
+            self.reached,
+            self.degraded_routes,
+        );
+        for (name, set) in [
+            ("dests", &self.dests),
+            ("dests_with_loop", &self.dests_with_loop),
+            ("dests_with_cycle", &self.dests_with_cycle),
+            ("addrs_seen", &self.addrs_seen),
+            ("addrs_in_loop", &self.addrs_in_loop),
+            ("addrs_in_cycle", &self.addrs_in_cycle),
+        ] {
+            let mut addrs: Vec<Ipv4Addr> = set.iter().copied().collect();
+            addrs.sort_unstable();
+            let _ = write!(out, "set {name} {}", addrs.len());
+            for a in addrs {
+                let _ = write!(out, " {a}");
+            }
+            out.push('\n');
+        }
+        for (name, map) in [("loop", &self.loop_sig_rounds), ("cycle", &self.cycle_sig_rounds)] {
+            let mut sigs: Vec<Signature> = map.keys().copied().collect();
+            sigs.sort_unstable();
+            let _ = writeln!(out, "sig_rounds {name} {}", sigs.len());
+            for sig in sigs {
+                let rounds = &map[&sig];
+                let _ = write!(out, "sr {} {} {}", sig.0, sig.1, rounds.len());
+                for r in rounds {
+                    let _ = write!(out, " {r}");
+                }
+                out.push('\n');
+            }
+        }
+        let mut li: Vec<((Signature, LoopCause), u64)> =
+            self.loop_instances.iter().map(|(k, v)| (*k, *v)).collect();
+        li.sort_unstable_by_key(|((sig, cause), _)| (*sig, loop_cause_rank(*cause)));
+        let _ = writeln!(out, "instances loop {}", li.len());
+        for ((sig, cause), n) in li {
+            let _ = writeln!(out, "in {} {} {cause:?} {n}", sig.0, sig.1);
+        }
+        let mut ci: Vec<((Signature, CycleCause), u64)> =
+            self.cycle_instances.iter().map(|(k, v)| (*k, *v)).collect();
+        ci.sort_unstable_by_key(|((sig, cause), _)| (*sig, cycle_cause_rank(*cause)));
+        let _ = writeln!(out, "instances cycle {}", ci.len());
+        for ((sig, cause), n) in ci {
+            let _ = writeln!(out, "in {} {} {cause:?} {n}", sig.0, sig.1);
+        }
+        let mut dests: Vec<Ipv4Addr> = self.graphs.keys().copied().collect();
+        dests.sort_unstable();
+        let _ = writeln!(out, "graphs {}", dests.len());
+        for d in dests {
+            let _ = writeln!(out, "dest {d}");
+            self.graphs[&d].snapshot_write(out);
+        }
+        let _ = writeln!(out, "end_acc");
+    }
+
+    /// Parse one accumulator back out of the checkpoint line stream —
+    /// the inverse of [`CampaignAccumulator::snapshot_write`].
+    pub fn snapshot_read<'a>(
+        lines: &mut impl Iterator<Item = &'a str>,
+    ) -> Result<CampaignAccumulator, String> {
+        fn take<'b>(
+            lines: &mut impl Iterator<Item = &'b str>,
+            what: &str,
+        ) -> Result<&'b str, String> {
+            lines.next().ok_or_else(|| format!("snapshot truncated at {what}"))
+        }
+        fn tok<T: std::str::FromStr>(
+            t: &mut std::str::SplitAsciiWhitespace<'_>,
+            what: &str,
+        ) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            t.next()
+                .ok_or_else(|| format!("missing {what}"))?
+                .parse()
+                .map_err(|e| format!("{what}: {e}"))
+        }
+        fn expect_tag(t: &mut std::str::SplitAsciiWhitespace<'_>, tag: &str) -> Result<(), String> {
+            match t.next() {
+                Some(got) if got == tag => Ok(()),
+                got => Err(format!("expected {tag:?}, got {got:?}")),
+            }
+        }
+
+        let mut t = take(lines, "acc header")?.split_ascii_whitespace();
+        expect_tag(&mut t, "acc")?;
+        let tool_name = t.next().ok_or("acc: missing tool")?;
+        let tool = StrategyId::from_name(tool_name)
+            .ok_or_else(|| format!("unknown tool {tool_name:?}"))?;
+        let mut acc = CampaignAccumulator::new(tool);
+
+        let mut t = take(lines, "rounds")?.split_ascii_whitespace();
+        expect_tag(&mut t, "rounds")?;
+        let n: usize = tok(&mut t, "round count")?;
+        for _ in 0..n {
+            acc.rounds_seen.insert(tok(&mut t, "round")?);
+        }
+
+        let mut t = take(lines, "counts")?.split_ascii_whitespace();
+        expect_tag(&mut t, "counts")?;
+        acc.routes_total = tok(&mut t, "routes_total")?;
+        acc.routes_with_loop = tok(&mut t, "routes_with_loop")?;
+        acc.routes_with_cycle = tok(&mut t, "routes_with_cycle")?;
+        acc.probes_sent = tok(&mut t, "probes_sent")?;
+        acc.responses = tok(&mut t, "responses")?;
+        acc.stars = tok(&mut t, "stars")?;
+        acc.mid_route_stars = tok(&mut t, "mid_route_stars")?;
+        acc.reached = tok(&mut t, "reached")?;
+        acc.degraded_routes = tok(&mut t, "degraded_routes")?;
+
+        for name in [
+            "dests",
+            "dests_with_loop",
+            "dests_with_cycle",
+            "addrs_seen",
+            "addrs_in_loop",
+            "addrs_in_cycle",
+        ] {
+            let mut t = take(lines, name)?.split_ascii_whitespace();
+            expect_tag(&mut t, "set")?;
+            expect_tag(&mut t, name)?;
+            let n: usize = tok(&mut t, "set size")?;
+            let set = match name {
+                "dests" => &mut acc.dests,
+                "dests_with_loop" => &mut acc.dests_with_loop,
+                "dests_with_cycle" => &mut acc.dests_with_cycle,
+                "addrs_seen" => &mut acc.addrs_seen,
+                "addrs_in_loop" => &mut acc.addrs_in_loop,
+                _ => &mut acc.addrs_in_cycle,
+            };
+            for _ in 0..n {
+                set.insert(tok(&mut t, "set addr")?);
+            }
+        }
+
+        for name in ["loop", "cycle"] {
+            let mut t = take(lines, "sig_rounds")?.split_ascii_whitespace();
+            expect_tag(&mut t, "sig_rounds")?;
+            expect_tag(&mut t, name)?;
+            let n: usize = tok(&mut t, "signature count")?;
+            for _ in 0..n {
+                let mut t = take(lines, "sr")?.split_ascii_whitespace();
+                expect_tag(&mut t, "sr")?;
+                let sig: Signature = (tok(&mut t, "sig addr")?, tok(&mut t, "sig dest")?);
+                let k: usize = tok(&mut t, "round count")?;
+                let map = if name == "loop" {
+                    &mut acc.loop_sig_rounds
+                } else {
+                    &mut acc.cycle_sig_rounds
+                };
+                let rounds = map.entry(sig).or_default();
+                for _ in 0..k {
+                    rounds.insert(tok(&mut t, "round")?);
+                }
+            }
+        }
+
+        let mut t = take(lines, "instances loop")?.split_ascii_whitespace();
+        expect_tag(&mut t, "instances")?;
+        expect_tag(&mut t, "loop")?;
+        let n: usize = tok(&mut t, "instance count")?;
+        for _ in 0..n {
+            let mut t = take(lines, "in")?.split_ascii_whitespace();
+            expect_tag(&mut t, "in")?;
+            let sig: Signature = (tok(&mut t, "sig addr")?, tok(&mut t, "sig dest")?);
+            let cause = loop_cause_from_tag(t.next().ok_or("in: missing cause")?)?;
+            acc.loop_instances.insert((sig, cause), tok(&mut t, "instance total")?);
+        }
+        let mut t = take(lines, "instances cycle")?.split_ascii_whitespace();
+        expect_tag(&mut t, "instances")?;
+        expect_tag(&mut t, "cycle")?;
+        let n: usize = tok(&mut t, "instance count")?;
+        for _ in 0..n {
+            let mut t = take(lines, "in")?.split_ascii_whitespace();
+            expect_tag(&mut t, "in")?;
+            let sig: Signature = (tok(&mut t, "sig addr")?, tok(&mut t, "sig dest")?);
+            let cause = cycle_cause_from_tag(t.next().ok_or("in: missing cause")?)?;
+            acc.cycle_instances.insert((sig, cause), tok(&mut t, "instance total")?);
+        }
+
+        let mut t = take(lines, "graphs")?.split_ascii_whitespace();
+        expect_tag(&mut t, "graphs")?;
+        let n: usize = tok(&mut t, "graph count")?;
+        for _ in 0..n {
+            let mut t = take(lines, "dest")?.split_ascii_whitespace();
+            expect_tag(&mut t, "dest")?;
+            let d: Ipv4Addr = tok(&mut t, "graph dest")?;
+            acc.graphs.insert(d, DestinationGraph::snapshot_read(lines)?);
+        }
+        let mut t = take(lines, "end_acc")?.split_ascii_whitespace();
+        expect_tag(&mut t, "end_acc")?;
+        Ok(acc)
+    }
+}
+
+/// Stable sort rank for loop causes in snapshot output.
+fn loop_cause_rank(c: LoopCause) -> u8 {
+    match c {
+        LoopCause::Unreachability => 0,
+        LoopCause::ZeroTtlForwarding => 1,
+        LoopCause::AddressRewriting => 2,
+        LoopCause::Unexplained => 3,
+    }
+}
+
+/// Stable sort rank for cycle causes in snapshot output.
+fn cycle_cause_rank(c: CycleCause) -> u8 {
+    match c {
+        CycleCause::ForwardingLoop => 0,
+        CycleCause::Unreachability => 1,
+        CycleCause::Unexplained => 2,
+    }
+}
+
+fn loop_cause_from_tag(s: &str) -> Result<LoopCause, String> {
+    Ok(match s {
+        "Unreachability" => LoopCause::Unreachability,
+        "ZeroTtlForwarding" => LoopCause::ZeroTtlForwarding,
+        "AddressRewriting" => LoopCause::AddressRewriting,
+        "Unexplained" => LoopCause::Unexplained,
+        _ => return Err(format!("unknown loop cause {s:?}")),
+    })
+}
+
+fn cycle_cause_from_tag(s: &str) -> Result<CycleCause, String> {
+    Ok(match s {
+        "ForwardingLoop" => CycleCause::ForwardingLoop,
+        "Unreachability" => CycleCause::Unreachability,
+        "Unexplained" => CycleCause::Unexplained,
+        _ => return Err(format!("unknown cycle cause {s:?}")),
+    })
 }
 
 /// One tool's campaign summary — the §3/§4 numbers.
@@ -293,6 +556,10 @@ pub struct ToolReport {
     pub stars: u64,
     /// Stars appearing before the last responding hop (2.6 M in the paper).
     pub mid_route_stars: u64,
+    /// Routes a watchdog budget cut short ([`HaltReason::Budget`]) —
+    /// counted but still ingested, so a runaway unit degrades gracefully
+    /// instead of poisoning the campaign's totals silently.
+    pub degraded_routes: u64,
     /// Share of routes whose destination answered.
     pub pct_routes_reaching_destination: f64,
     /// §4.1.2: 5.3% for classic traceroute.
@@ -562,6 +829,56 @@ mod tests {
         paris.ingest(0, &route(StrategyId::ParisUdp, 100, vec![Some(2), Some(9), Some(9)]));
         let cmp = compare(&classic, &paris);
         assert!((cmp.loops_only_in_paris_pct - 25.0).abs() < 1e-9, "1 paris-only / 4 classic");
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_is_canonical() {
+        let mut acc = CampaignAccumulator::new(StrategyId::ClassicUdp);
+        // Loops, cycles, diamonds, stars, and a zero-TTL route-local
+        // cause — every snapshot section gets populated.
+        acc.ingest(0, &route(StrategyId::ClassicUdp, 100, vec![Some(2), Some(3), Some(3)]));
+        acc.ingest(1, &route(StrategyId::ClassicUdp, 100, vec![Some(2), Some(4), None]));
+        acc.ingest(0, &route(StrategyId::ClassicUdp, 101, vec![Some(5), Some(6), Some(8)]));
+        acc.ingest(1, &route(StrategyId::ClassicUdp, 101, vec![Some(5), Some(7), Some(8)]));
+        acc.ingest(2, &route(StrategyId::ClassicUdp, 102, vec![Some(2), Some(9), Some(2)]));
+        let mut zero = route(StrategyId::ClassicUdp, 103, vec![Some(2), Some(3), Some(3)]);
+        zero.hops[1].probes[0].probe_ttl = Some(0);
+        acc.ingest(2, &zero);
+        let mut degraded = route(StrategyId::ClassicUdp, 104, vec![Some(2), Some(3)]);
+        degraded.halt = HaltReason::Budget;
+        acc.ingest(2, &degraded);
+
+        let mut bytes = String::new();
+        acc.snapshot_write(&mut bytes);
+        let restored = CampaignAccumulator::snapshot_read(&mut bytes.lines())
+            .expect("snapshot must parse back");
+        assert_eq!(restored.report(), acc.report());
+        assert_eq!(restored.loop_signatures(), acc.loop_signatures());
+        assert_eq!(restored.cycle_signatures(), acc.cycle_signatures());
+        assert_eq!(restored.diamond_signatures(), acc.diamond_signatures());
+        assert_eq!(restored.report().degraded_routes, 1);
+
+        // Canonical: re-serializing the restored accumulator is
+        // byte-identical, regardless of hash-map iteration order.
+        let mut again = String::new();
+        restored.snapshot_write(&mut again);
+        assert_eq!(again, bytes);
+
+        // A shard-merged accumulator with the same contents serializes
+        // to the same bytes too — the property checkpoint/resume needs.
+        let mut shard_a = CampaignAccumulator::new(StrategyId::ClassicUdp);
+        let mut shard_b = CampaignAccumulator::new(StrategyId::ClassicUdp);
+        shard_b.ingest(0, &route(StrategyId::ClassicUdp, 100, vec![Some(2), Some(3), Some(3)]));
+        shard_a.ingest(1, &route(StrategyId::ClassicUdp, 100, vec![Some(2), Some(4), None]));
+        shard_b.ingest(0, &route(StrategyId::ClassicUdp, 101, vec![Some(5), Some(6), Some(8)]));
+        shard_a.ingest(1, &route(StrategyId::ClassicUdp, 101, vec![Some(5), Some(7), Some(8)]));
+        shard_b.ingest(2, &route(StrategyId::ClassicUdp, 102, vec![Some(2), Some(9), Some(2)]));
+        shard_a.ingest(2, &zero);
+        shard_b.ingest(2, &degraded);
+        shard_a.merge(shard_b);
+        let mut merged = String::new();
+        shard_a.snapshot_write(&mut merged);
+        assert_eq!(merged, bytes, "sharding must not leak into snapshot bytes");
     }
 
     #[test]

@@ -19,6 +19,7 @@
 
 pub mod report;
 pub mod runner;
+pub mod snapshot;
 pub mod validate;
 
 pub use report::{
@@ -26,9 +27,14 @@ pub use report::{
 };
 pub use runner::{
     run, run_multipath, CampaignConfig, CampaignResult, DestMultipath, DynamicsConfig,
-    MultipathConfig, MultipathReport, MultipathResult, UnitDiscovery,
+    InjectConfig, MultipathConfig, MultipathReport, MultipathResult, QuarantinedUnit,
+    UnitDiscovery,
+};
+pub use snapshot::{
+    run_checkpointed, run_multipath_checkpointed, run_multipath_resumed, run_resumed,
+    CheckpointConfig,
 };
 pub use validate::{
-    validate_causes, validate_fault_recovery, validate_multipath, FaultRecoveryScore,
-    MultipathScore, ValidationReport,
+    attribute_fault_anomalies, validate_causes, validate_fault_recovery, validate_multipath,
+    FaultAttribution, FaultRecoveryScore, MultipathScore, ValidationReport,
 };

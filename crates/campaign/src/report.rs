@@ -178,7 +178,8 @@ pub fn render_report(result: &CampaignResult) -> String {
          - mid-route stars (classic): {} (paper: 2.6 M)\n\
          - Paris: {} routes with a loop = {:.2}% (classic: {:.2}%)\n\
          - diamonds, classic: {} — Paris: {}\n\
-         - mean virtual probing time per destination: {:.1} s",
+         - mean virtual probing time per destination: {:.1} s\n\
+         - budget-degraded routes (classic / Paris): {} / {} — quarantined units: {}",
         c.rounds,
         c.destinations,
         c.routes_total,
@@ -190,6 +191,9 @@ pub fn render_report(result: &CampaignResult) -> String {
         c.diamonds_total,
         result.paris_report.diamonds_total,
         result.mean_virtual_secs,
+        c.degraded_routes,
+        result.paris_report.degraded_routes,
+        result.quarantined.len(),
     );
     out
 }
@@ -216,6 +220,16 @@ pub fn report_digest(result: &CampaignResult) -> String {
     let _ = writeln!(out, "cycle_causes: [{}]", cycles.join(", "));
     let _ = writeln!(out, "diamond_per_flow_pct: {:?}", cmp.diamond_per_flow_pct);
     let _ = writeln!(out, "loops_only_in_paris_pct: {:?}", cmp.loops_only_in_paris_pct);
+    // Quarantined units are part of the result contract: a resumed or
+    // re-sharded campaign must reproduce them exactly (same units, same
+    // panic payloads), not just the healthy-unit statistics.
+    for q in &result.quarantined {
+        let _ = writeln!(
+            out,
+            "quarantined: unit={} dest={} round={} addr={} panic={:?}",
+            q.unit, q.dest, q.round, q.addr, q.panic,
+        );
+    }
     out
 }
 
@@ -235,7 +249,8 @@ pub fn render_multipath_report(result: &MultipathResult) -> String {
          - confident width histogram (2 / 3 / ≥4): {} / {} / {}\n\
          - branch-length delta histogram (0 / 1 / ≥2): {} / {} / {}\n\
          - mean probes per destination: {:.1}\n\
-         - mean virtual probing secs per destination: {:.2}",
+         - mean virtual probing secs per destination: {:.2}\n\
+         - budget-degraded units: {} — quarantined units: {}",
         r.destinations,
         r.rounds,
         r.reached_dests,
@@ -251,6 +266,8 @@ pub fn render_multipath_report(result: &MultipathResult) -> String {
         r.delta_hist[2],
         r.mean_probes,
         result.mean_virtual_secs,
+        r.degraded_units,
+        result.quarantined.len(),
     );
     out
 }
@@ -267,7 +284,7 @@ pub fn multipath_digest(result: &MultipathResult) -> String {
         let _ = writeln!(
             out,
             "unit d{} r{} {}: w={}/{} delta={} class={:?} hops={} links={} stars={} unconv={} \
-             probes={} reached={}",
+             probes={} reached={} degraded={}",
             u.dest,
             u.round,
             u.addr,
@@ -281,17 +298,33 @@ pub fn multipath_digest(result: &MultipathResult) -> String {
             u.unconverged_hops,
             u.probes,
             u.reached,
+            u.degraded,
         );
     }
     for d in &result.per_dest {
         let _ = writeln!(
             out,
-            "dest {} {}: w={}/{} delta={} class={:?} probes={} reached={}",
-            d.dest, d.addr, d.width, d.observed_width, d.delta, d.class, d.probes, d.reached,
+            "dest {} {}: w={}/{} delta={} class={:?} probes={} reached={} degraded={}",
+            d.dest,
+            d.addr,
+            d.width,
+            d.observed_width,
+            d.delta,
+            d.class,
+            d.probes,
+            d.reached,
+            d.degraded,
         );
     }
     let _ = writeln!(out, "report: {:?}", result.report);
     let _ = writeln!(out, "mean_virtual_secs: {:?}", result.mean_virtual_secs);
+    for q in &result.quarantined {
+        let _ = writeln!(
+            out,
+            "quarantined: unit={} dest={} round={} addr={} panic={:?}",
+            q.unit, q.dest, q.round, q.addr, q.panic,
+        );
+    }
     out
 }
 

@@ -13,7 +13,10 @@
 //! byte-identical for any worker count, and `workers` is a pure
 //! performance knob (the property `tests/worker_invariance.rs` pins).
 
+use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use crossbeam_deque::{Steal, Stealer, Worker};
 use rand::rngs::StdRng;
@@ -77,6 +80,56 @@ impl DynamicsConfig {
     }
 }
 
+/// Deterministic fault injection for the campaign engines' own
+/// crash-safety machinery: force specific `(destination, round)` units
+/// to panic or to run away, so quarantine and watchdog paths can be
+/// exercised end to end without hoping for a real bug.
+#[derive(Debug, Clone, Default)]
+pub struct InjectConfig {
+    /// Units that panic mid-unit (after their Paris trace, before any
+    /// of the unit's results are ingested — proving partial work is
+    /// discarded).
+    pub panic_units: BTreeSet<u32>,
+    /// Units whose simulator gets a *permanent* forwarding loop
+    /// installed toward the destination before probing starts: the
+    /// trace never terminates organically and only a watchdog budget
+    /// (or the max-TTL ceiling) ends it.
+    pub runaway_units: BTreeSet<u32>,
+}
+
+impl InjectConfig {
+    /// No injected faults (the default).
+    pub fn none() -> Self {
+        InjectConfig::default()
+    }
+
+    /// Whether any injection is configured.
+    pub fn is_empty(&self) -> bool {
+        self.panic_units.is_empty() && self.runaway_units.is_empty()
+    }
+}
+
+/// One quarantined `(destination, round)` unit: the worker caught its
+/// panic, discarded every partial result, rebuilt its simulator pool
+/// and scratch, and recorded this instead of dying.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedUnit {
+    /// The unit id (round-major).
+    pub unit: u32,
+    /// Destination index into [`SyntheticInternet::dests`].
+    pub dest: usize,
+    /// Round number.
+    pub round: usize,
+    /// The destination address the unit was probing.
+    pub addr: Ipv4Addr,
+    /// The unit's derived seed stream — enough to replay the unit in
+    /// isolation.
+    pub seed: u64,
+    /// The panic payload, when it was a string (the common case);
+    /// `"opaque panic payload"` otherwise.
+    pub panic: String,
+}
+
 /// Campaign parameters (§3's setup).
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
@@ -103,6 +156,8 @@ pub struct CampaignConfig {
     /// When set, keep every measured route (memory-heavy; for debugging
     /// and small runs only).
     pub keep_routes: bool,
+    /// Deterministic fault injection (crash-safety testing).
+    pub inject: InjectConfig,
 }
 
 impl Default for CampaignConfig {
@@ -115,6 +170,7 @@ impl Default for CampaignConfig {
             seed: 20061025, // the paper's publication date
 
             keep_routes: false,
+            inject: InjectConfig::none(),
         }
     }
 }
@@ -140,9 +196,15 @@ pub struct CampaignResult {
     /// per-shard figure it replaces, and the number the windowed tracer
     /// divides by roughly `trace.window`.
     pub mean_virtual_secs: f64,
+    /// Units whose execution panicked, in unit order. Their partial
+    /// results are fully discarded — nothing of a poisoned unit reaches
+    /// the accumulators, the kept routes, or the virtual-time sums —
+    /// so the healthy-unit digest is independent of *where* a panic
+    /// struck and of the worker count.
+    pub quarantined: Vec<QuarantinedUnit>,
 }
 
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -151,27 +213,75 @@ fn splitmix64(mut x: u64) -> u64 {
 
 /// A `(destination, round)` work unit, encoded round-major so unit order
 /// matches the old serial iteration (`for round { for dest }`).
-type UnitId = u32;
+pub(crate) type UnitId = u32;
 
-/// What one worker accumulated over every unit it claimed. Accumulator
-/// merging is order-insensitive (integer counters, sets, and per-key
-/// u64 maps), so workers can fold units in claim order; everything
-/// order-sensitive (kept routes, virtual-time floats) is tagged with
-/// its unit id and re-ordered deterministically by the merge step.
-struct WorkerOutput {
-    classic: CampaignAccumulator,
-    paris: CampaignAccumulator,
-    routes: Vec<(UnitId, StrategyId, usize, MeasuredRoute)>,
-    virtual_secs: Vec<(UnitId, f64)>,
+/// What a block of units accumulated — one worker's claim-order fold,
+/// or several workers' folds merged, or several *blocks* merged by the
+/// checkpoint engine. Accumulator merging is order-insensitive (integer
+/// counters, sets, and per-key u64 maps), so producers can fold units
+/// in any order; everything order-sensitive (kept routes, virtual-time
+/// floats, quarantine records) is tagged with its unit id and re-ordered
+/// deterministically by [`finalize_campaign`].
+pub(crate) struct BlockOutput {
+    pub(crate) classic: CampaignAccumulator,
+    pub(crate) paris: CampaignAccumulator,
+    pub(crate) routes: Vec<(UnitId, StrategyId, usize, MeasuredRoute)>,
+    pub(crate) virtual_secs: Vec<(UnitId, f64)>,
+    pub(crate) quarantined: Vec<QuarantinedUnit>,
+}
+
+impl BlockOutput {
+    pub(crate) fn empty() -> Self {
+        BlockOutput {
+            classic: CampaignAccumulator::new(StrategyId::ClassicUdp),
+            paris: CampaignAccumulator::new(StrategyId::ParisUdp),
+            routes: Vec::new(),
+            virtual_secs: Vec::new(),
+            quarantined: Vec::new(),
+        }
+    }
+
+    /// Fold another block in. Order-insensitive, like everything that
+    /// feeds it.
+    pub(crate) fn absorb(&mut self, other: BlockOutput) {
+        self.classic.merge(other.classic);
+        self.paris.merge(other.paris);
+        self.routes.extend(other.routes);
+        self.virtual_secs.extend(other.virtual_secs);
+        self.quarantined.extend(other.quarantined);
+    }
+}
+
+/// Check the campaign-wide invariants and return the unit count.
+pub(crate) fn campaign_units(net: &SyntheticInternet, config: &CampaignConfig) -> u32 {
+    assert!(config.workers >= 1 && config.rounds >= 1);
+    let n_units = net.dests.len() * config.rounds;
+    assert!(u32::try_from(n_units).is_ok(), "campaign too large for u32 unit ids");
+    n_units as u32
 }
 
 /// Run a full side-by-side campaign over `net`.
 pub fn run(net: &SyntheticInternet, config: &CampaignConfig) -> CampaignResult {
-    assert!(config.workers >= 1 && config.rounds >= 1);
-    let n_dests = net.dests.len();
-    let n_units = n_dests * config.rounds;
-    assert!(u32::try_from(n_units).is_ok(), "campaign too large for u32 unit ids");
-    let workers = config.workers.min(n_units).max(1);
+    let n_units = campaign_units(net, config);
+    let out = run_units(net, config, 0..n_units);
+    finalize_campaign(net.dests.len(), out)
+}
+
+/// Execute one contiguous block of units over the work-stealing pool —
+/// the whole campaign for [`run`], one checkpoint block for the
+/// crash-safe engine in [`crate::snapshot`]. Results are independent of
+/// the block partitioning because every unit's draws derive from
+/// `(seed, destination, round)` alone and the fold is order-insensitive.
+pub(crate) fn run_units(
+    net: &SyntheticInternet,
+    config: &CampaignConfig,
+    units: Range<UnitId>,
+) -> BlockOutput {
+    let n_block = units.len();
+    if n_block == 0 {
+        return BlockOutput::empty();
+    }
+    let workers = config.workers.min(n_block).max(1);
 
     // Pre-distribute units round-robin across per-worker deques; a
     // worker that drains its own queue steals the oldest units from its
@@ -179,11 +289,11 @@ pub fn run(net: &SyntheticInternet, config: &CampaignConfig) -> CampaignResult {
     // units) get rebalanced instead of serializing the tail.
     let locals: Vec<Worker<UnitId>> = (0..workers).map(|_| Worker::new_fifo()).collect();
     let stealers: Vec<Stealer<UnitId>> = locals.iter().map(Worker::stealer).collect();
-    for unit in 0..n_units {
-        locals[unit % workers].push(unit as UnitId);
+    for unit in units {
+        locals[unit as usize % workers].push(unit);
     }
 
-    let outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
+    let outputs: Vec<BlockOutput> = std::thread::scope(|scope| {
         let handles: Vec<_> = locals
             .into_iter()
             .enumerate()
@@ -193,26 +303,33 @@ pub fn run(net: &SyntheticInternet, config: &CampaignConfig) -> CampaignResult {
                 scope.spawn(move || run_worker(worker_idx, local, stealers, net, config))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        // A worker thread only dies if the quarantine machinery itself
+        // panicked (unit panics are caught inside `run_worker`).
+        handles.into_iter().map(|h| h.join().expect("campaign worker died")).collect()
     });
 
-    let mut classic = CampaignAccumulator::new(StrategyId::ClassicUdp);
-    let mut paris = CampaignAccumulator::new(StrategyId::ParisUdp);
-    let mut tagged_routes = Vec::new();
-    let mut virt: Vec<(UnitId, f64)> = Vec::with_capacity(n_units);
+    let mut merged = BlockOutput::empty();
     for out in outputs {
-        classic.merge(out.classic);
-        paris.merge(out.paris);
-        tagged_routes.extend(out.routes);
-        virt.extend(out.virtual_secs);
+        merged.absorb(out);
     }
-    // Which worker ran which unit is scheduling noise; re-ordering by
-    // unit id (Paris before classic within a unit) makes the kept-route
-    // list and the float summation below pure functions of the seed.
-    tagged_routes.sort_by_key(|(unit, tool, _, _)| (*unit, *tool != StrategyId::ParisUdp));
-    virt.sort_by_key(|(unit, _)| *unit);
-    let routes = tagged_routes.into_iter().map(|(_, tool, round, route)| (tool, round, route));
-    let total_virtual: f64 = virt.iter().map(|(_, v)| v).sum();
+    merged
+}
+
+/// Order-sensitive assembly of the final result from an (unordered)
+/// fold of every unit: re-sort by unit id, sum the virtual-time floats
+/// in that fixed order, and compute the reports. Pure function of the
+/// fold's contents — the reason worker count, block partitioning, and
+/// kill/resume points all leave the digest byte-identical.
+pub(crate) fn finalize_campaign(n_dests: usize, out: BlockOutput) -> CampaignResult {
+    let BlockOutput { classic, paris, mut routes, mut virtual_secs, mut quarantined } = out;
+    // Which worker (or checkpoint block) ran which unit is scheduling
+    // noise; re-ordering by unit id (Paris before classic within a
+    // unit) makes the kept-route list and the float summation below
+    // pure functions of the seed.
+    routes.sort_by_key(|(unit, tool, _, _)| (*unit, *tool != StrategyId::ParisUdp));
+    virtual_secs.sort_by_key(|(unit, _)| *unit);
+    quarantined.sort_by_key(|q| q.unit);
+    let total_virtual: f64 = virtual_secs.iter().map(|(_, v)| v).sum();
 
     let classic_report = classic.report();
     let paris_report = paris.report();
@@ -223,8 +340,9 @@ pub fn run(net: &SyntheticInternet, config: &CampaignConfig) -> CampaignResult {
         classic_report,
         paris_report,
         comparison,
-        routes: routes.collect(),
+        routes: routes.into_iter().map(|(_, tool, round, route)| (tool, round, route)).collect(),
         mean_virtual_secs: total_virtual / n_dests.max(1) as f64,
+        quarantined,
     }
 }
 
@@ -253,13 +371,35 @@ fn next_unit(
     None
 }
 
+/// Decode a unit id into `(dest_idx, round)` and derive its RNG stream.
+/// The two independent mixes keep the campaign-level draws (ports,
+/// dynamics) and the simulator's node seeds decorrelated.
+fn unit_coords(unit: UnitId, n_dests: usize, seed: u64) -> (usize, usize, u64) {
+    let dest_idx = unit as usize % n_dests;
+    let round = unit as usize / n_dests;
+    let dest_stream = splitmix64(seed ^ splitmix64(dest_idx as u64 + 1));
+    let unit_stream = splitmix64(dest_stream ^ (round as u64 + 1));
+    (dest_idx, round, unit_stream)
+}
+
+/// Recover a human-readable message from a caught panic payload.
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_owned(),
+            Err(_) => "opaque panic payload".to_owned(),
+        },
+    }
+}
+
 fn run_worker(
     worker_idx: usize,
     local: Worker<UnitId>,
     stealers: &[Stealer<UnitId>],
     net: &SyntheticInternet,
     config: &CampaignConfig,
-) -> WorkerOutput {
+) -> BlockOutput {
     // One pool per worker: after the first unit, every acquire hands
     // back the same warm simulator (arena slots, payload buffers and
     // event-queue capacity intact) reset for the next destination.
@@ -268,42 +408,74 @@ fn run_worker(
     // recycle across every unit, so a worker's steady-state trace loop
     // performs no heap allocation at all.
     let mut scratch = TraceScratch::new();
-    let mut out = WorkerOutput {
-        classic: CampaignAccumulator::new(StrategyId::ClassicUdp),
-        paris: CampaignAccumulator::new(StrategyId::ParisUdp),
-        routes: Vec::new(),
-        virtual_secs: Vec::new(),
-    };
+    let mut out = BlockOutput::empty();
     while let Some(unit) = next_unit(worker_idx, &local, stealers) {
-        run_unit(unit, net, config, &mut pool, &mut scratch, &mut out);
+        // Unit isolation: a panicking unit is quarantined, not fatal.
+        // `run_unit` mutates nothing outside itself — its routes only
+        // reach the accumulators via `ingest_unit` after it returns —
+        // so catching the unwind discards *all* of the unit's work.
+        let result =
+            catch_unwind(AssertUnwindSafe(|| run_unit(unit, net, config, &mut pool, &mut scratch)));
+        match result {
+            Ok(traced) => ingest_unit(unit, traced, config, &mut scratch, &mut out),
+            Err(payload) => {
+                // The unwind may have left the pooled simulator (lost
+                // with the dropped transport) and the trace scratch in
+                // arbitrary states; rebuild both so nothing poisoned
+                // leaks into later units.
+                pool = SimulatorPool::new(net.topology.clone());
+                scratch = TraceScratch::new();
+                let (dest_idx, round, unit_stream) =
+                    unit_coords(unit, net.dests.len(), config.seed);
+                out.quarantined.push(QuarantinedUnit {
+                    unit,
+                    dest: dest_idx,
+                    round,
+                    addr: net.dests[dest_idx].addr,
+                    seed: unit_stream,
+                    panic: panic_text(payload),
+                });
+            }
+        }
     }
     out
+}
+
+/// One unit's raw output, held back from the accumulators until the
+/// unit is known to have completed: quarantine semantics require that a
+/// panic anywhere in the unit contaminates nothing.
+struct UnitTrace {
+    round: usize,
+    paris: MeasuredRoute,
+    classic: MeasuredRoute,
+    virtual_secs: f64,
 }
 
 /// Run one `(destination, round)` unit: a Paris + classic trace pair
 /// over a pristine simulator, with every draw derived from
 /// `(seed, destination, round)` so the claiming worker is irrelevant.
+/// Returns the measured pair without touching shared state — the caller
+/// ingests on success ([`ingest_unit`]) or discards on panic.
 fn run_unit(
     unit: UnitId,
     net: &SyntheticInternet,
     config: &CampaignConfig,
     pool: &mut SimulatorPool,
     scratch: &mut TraceScratch,
-    out: &mut WorkerOutput,
-) {
-    let n_dests = net.dests.len();
-    let dest_idx = unit as usize % n_dests;
-    let round = unit as usize / n_dests;
+) -> UnitTrace {
+    let (dest_idx, round, unit_stream) = unit_coords(unit, net.dests.len(), config.seed);
     let dest = &net.dests[dest_idx];
 
-    // Per-destination RNG stream, whitened per round. The two
-    // independent mixes keep the campaign-level draws (ports, dynamics)
-    // and the simulator's node seeds decorrelated.
-    let dest_stream = splitmix64(config.seed ^ splitmix64(dest_idx as u64 + 1));
-    let unit_stream = splitmix64(dest_stream ^ (round as u64 + 1));
     let mut rng = StdRng::seed_from_u64(unit_stream);
     let sim = pool.acquire(splitmix64(unit_stream ^ 0x5157_ea11));
     let mut tx = SimTransport::new(sim, net.source);
+
+    // Injected runaway: a permanent forwarding loop toward the
+    // destination, installed before probing starts and never lifted.
+    // Consumes no RNG draws, so healthy units are unaffected.
+    if config.inject.runaway_units.contains(&unit) {
+        install_runaway_loop(&mut tx, dest, &net.topology);
+    }
 
     // Routing events are exogenous: draw independently before each
     // trace of the pair.
@@ -313,12 +485,12 @@ fn run_unit(
     let sp = rng.gen_range(10_000..=60_000);
     let dp = rng.gen_range(10_000..=60_000);
     let mut paris = ParisUdp::new(sp, dp);
-    let route = trace_with(&mut tx, &mut paris, dest.addr, config.trace, scratch);
-    out.paris.ingest(round, &route);
-    if config.keep_routes {
-        out.routes.push((unit, StrategyId::ParisUdp, round, route));
-    } else {
-        scratch.recycle(route);
+    let paris_route = trace_with(&mut tx, &mut paris, dest.addr, config.trace, scratch);
+
+    // Injected panic: after the Paris trace, so the quarantine tests
+    // prove a half-done unit's results are discarded wholesale.
+    if config.inject.panic_units.contains(&unit) {
+        panic!("injected fault: unit {unit} (dest {dest_idx}, round {round})");
     }
 
     schedule_dynamics(&mut rng, &mut tx, dest, &net.topology, config);
@@ -329,16 +501,55 @@ fn run_unit(
     // across rounds.
     let pid = rng.gen::<u16>() & 0x7fff;
     let mut classic = ClassicUdp::new(pid);
-    let route = trace_with(&mut tx, &mut classic, dest.addr, config.trace, scratch);
-    out.classic.ingest(round, &route);
-    if config.keep_routes {
-        out.routes.push((unit, StrategyId::ClassicUdp, round, route));
-    } else {
-        scratch.recycle(route);
-    }
+    let classic_route = trace_with(&mut tx, &mut classic, dest.addr, config.trace, scratch);
 
-    out.virtual_secs.push((unit, tx.now().as_secs_f64()));
+    let virtual_secs = tx.now().as_secs_f64();
     pool.release(tx.into_simulator());
+    UnitTrace { round, paris: paris_route, classic: classic_route, virtual_secs }
+}
+
+/// Commit one completed unit's results to the fold — the only place a
+/// unit's measurements touch shared state.
+fn ingest_unit(
+    unit: UnitId,
+    traced: UnitTrace,
+    config: &CampaignConfig,
+    scratch: &mut TraceScratch,
+    out: &mut BlockOutput,
+) {
+    let UnitTrace { round, paris, classic, virtual_secs } = traced;
+    out.paris.ingest(round, &paris);
+    out.classic.ingest(round, &classic);
+    if config.keep_routes {
+        out.routes.push((unit, StrategyId::ParisUdp, round, paris));
+        out.routes.push((unit, StrategyId::ClassicUdp, round, classic));
+    } else {
+        scratch.recycle(paris);
+        scratch.recycle(classic);
+    }
+    out.virtual_secs.push((unit, virtual_secs));
+}
+
+/// Install a *permanent* two-router forwarding loop toward `dest` on
+/// the first adjacent linked pair of its branch chain — the injected
+/// runaway fault. Probes toward the destination ping-pong between the
+/// pair forever (each transit still decrements TTL and draws a Time
+/// Exceeded, so the trace burns its full probe allowance); only a
+/// watchdog budget or the max-TTL ceiling ends the trace.
+fn install_runaway_loop(tx: &mut SimTransport, dest: &DestInfo, topo: &pt_netsim::Topology) {
+    let pair = dest.chain.windows(2).find(|w| {
+        topo.iface_toward(w[0], w[1]).is_some() && topo.iface_toward(w[1], w[0]).is_some()
+    });
+    let Some(&[x, y]) = pair else {
+        panic!("runaway injection: destination {} has no linked adjacent chain pair", dest.addr)
+    };
+    let x_to_y = topo.iface_toward(x, y).expect("checked above");
+    let y_to_x = topo.iface_toward(y, x).expect("checked above");
+    let dst_pfx = pt_netsim::Ipv4Prefix::host(dest.addr);
+    let now = tx.now();
+    let sim = tx.simulator_mut();
+    sim.schedule_route_set(now, x, dst_pfx, Some(NextHop::Iface(x_to_y)));
+    sim.schedule_route_set(now, y, dst_pfx, Some(NextHop::Iface(y_to_x)));
 }
 
 /// Maybe schedule a transient forwarding loop or a balancer flap covering
@@ -370,8 +581,16 @@ fn schedule_dynamics(
             (!candidates.is_empty()).then(|| &candidates[rng.gen_range(0..candidates.len())])
         {
             let dst_pfx = pt_netsim::Ipv4Prefix::host(dest.addr);
-            let x_to_y = topo.iface_toward(x, y).unwrap();
-            let y_to_x = topo.iface_toward(y, x).unwrap();
+            // The candidate filter proved x→y is linked; y→x holding too
+            // is a topology invariant (links are bidirectional). If either
+            // breaks, name the pair — the quarantine layer catches this
+            // panic and reports it instead of killing the worker.
+            let x_to_y = topo.iface_toward(x, y).unwrap_or_else(|| {
+                panic!("dynamics: no interface from {x:?} toward {y:?} (dest {})", dest.addr)
+            });
+            let y_to_x = topo.iface_toward(y, x).unwrap_or_else(|| {
+                panic!("dynamics: no interface from {y:?} toward {x:?} (dest {})", dest.addr)
+            });
             let sim = tx.simulator_mut();
             let start = now + dyn_cfg.forwarding_loop_delay;
             sim.schedule_route_set(start, x, dst_pfx, Some(NextHop::Iface(x_to_y)));
@@ -445,6 +664,8 @@ pub struct MultipathConfig {
     pub adaptive: bool,
     /// Campaign-level seed.
     pub seed: u64,
+    /// Deterministic fault injection (crash-safety testing).
+    pub inject: InjectConfig,
 }
 
 impl Default for MultipathConfig {
@@ -462,6 +683,7 @@ impl Default for MultipathConfig {
             mda: MdaConfig { alpha: 0.01, ..MdaConfig::default() },
             adaptive: false,
             seed: 20061025,
+            inject: InjectConfig::none(),
         }
     }
 }
@@ -496,6 +718,10 @@ pub struct UnitDiscovery {
     pub probes: usize,
     /// The destination itself answered.
     pub reached: bool,
+    /// A watchdog budget ([`MdaConfig::probe_budget`] /
+    /// [`MdaConfig::time_budget`]) cut the walk short: the DAG is a
+    /// valid but incomplete prefix, and widths are lower bounds.
+    pub degraded: bool,
 }
 
 /// Per-destination view merged across rounds: widths/deltas take the
@@ -519,6 +745,9 @@ pub struct DestMultipath {
     pub probes: usize,
     /// Reached in any round.
     pub reached: bool,
+    /// Some round's walk was budget-degraded, so the merged view may
+    /// undercount.
+    pub degraded: bool,
 }
 
 /// Aggregate multipath-campaign statistics — the discovery counterpart
@@ -547,6 +776,8 @@ pub struct MultipathReport {
     pub delta_hist: [usize; 3],
     /// Mean probes per destination (all rounds).
     pub mean_probes: f64,
+    /// Units whose walk a watchdog budget degraded.
+    pub degraded_units: usize,
 }
 
 /// Multipath campaign output.
@@ -562,6 +793,10 @@ pub struct MultipathResult {
     /// Mean virtual probing seconds per destination (summed over its
     /// rounds); the figure the windowed engine divides.
     pub mean_virtual_secs: f64,
+    /// Units whose execution panicked, in unit order — quarantined with
+    /// all partial results discarded, exactly like the side-by-side
+    /// campaign's [`CampaignResult::quarantined`].
+    pub quarantined: Vec<QuarantinedUnit>,
 }
 
 fn stronger_class(a: BalancerClass, b: BalancerClass) -> BalancerClass {
@@ -574,10 +809,28 @@ fn stronger_class(a: BalancerClass, b: BalancerClass) -> BalancerClass {
     }
 }
 
-/// Run a multipath-discovery campaign over `net`: windowed MDA toward
-/// every destination, on the same seed-derived, work-stealing
-/// `(destination, round)` pool as [`run`].
-pub fn run_multipath(net: &SyntheticInternet, config: &MultipathConfig) -> MultipathResult {
+/// One multipath unit's tagged output.
+pub(crate) type TaggedUnit = (UnitId, UnitDiscovery, f64);
+
+/// What a block of multipath units produced.
+pub(crate) struct MultipathBlock {
+    pub(crate) units: Vec<TaggedUnit>,
+    pub(crate) quarantined: Vec<QuarantinedUnit>,
+}
+
+impl MultipathBlock {
+    pub(crate) fn empty() -> Self {
+        MultipathBlock { units: Vec::new(), quarantined: Vec::new() }
+    }
+
+    pub(crate) fn absorb(&mut self, other: MultipathBlock) {
+        self.units.extend(other.units);
+        self.quarantined.extend(other.quarantined);
+    }
+}
+
+/// Check the multipath campaign's invariants and return the unit count.
+pub(crate) fn multipath_units(net: &SyntheticInternet, config: &MultipathConfig) -> u32 {
     assert!(config.workers >= 1 && config.rounds >= 1);
     // Validated here, not deep inside a worker thread: the per-unit
     // port draw needs room for every flow id above a base in the
@@ -588,19 +841,41 @@ pub fn run_multipath(net: &SyntheticInternet, config: &MultipathConfig) -> Multi
         "MultipathConfig: max_flows_per_hop must be in 1..=4096, got {}",
         config.mda.max_flows_per_hop
     );
-    let n_dests = net.dests.len();
-    let n_units = n_dests * config.rounds;
+    let n_units = net.dests.len() * config.rounds;
     assert!(u32::try_from(n_units).is_ok(), "campaign too large for u32 unit ids");
-    let workers = config.workers.min(n_units).max(1);
+    n_units as u32
+}
+
+/// Run a multipath-discovery campaign over `net`: windowed MDA toward
+/// every destination, on the same seed-derived, work-stealing
+/// `(destination, round)` pool as [`run`].
+pub fn run_multipath(net: &SyntheticInternet, config: &MultipathConfig) -> MultipathResult {
+    let n_units = multipath_units(net, config);
+    let out = run_multipath_block(net, config, 0..n_units);
+    finalize_multipath(net, config, out)
+}
+
+/// Execute one contiguous block of multipath units — the whole campaign
+/// for [`run_multipath`], one checkpoint block for the crash-safe
+/// engine in [`crate::snapshot`].
+pub(crate) fn run_multipath_block(
+    net: &SyntheticInternet,
+    config: &MultipathConfig,
+    units: Range<UnitId>,
+) -> MultipathBlock {
+    let n_block = units.len();
+    if n_block == 0 {
+        return MultipathBlock::empty();
+    }
+    let workers = config.workers.min(n_block).max(1);
 
     let locals: Vec<Worker<UnitId>> = (0..workers).map(|_| Worker::new_fifo()).collect();
     let stealers: Vec<Stealer<UnitId>> = locals.iter().map(Worker::stealer).collect();
-    for unit in 0..n_units {
-        locals[unit % workers].push(unit as UnitId);
+    for unit in units {
+        locals[unit as usize % workers].push(unit);
     }
 
-    type TaggedUnit = (UnitId, UnitDiscovery, f64);
-    let outputs: Vec<Vec<TaggedUnit>> = std::thread::scope(|scope| {
+    let outputs: Vec<MultipathBlock> = std::thread::scope(|scope| {
         let handles: Vec<_> = locals
             .into_iter()
             .enumerate()
@@ -610,21 +885,59 @@ pub fn run_multipath(net: &SyntheticInternet, config: &MultipathConfig) -> Multi
                 scope.spawn(move || {
                     let mut pool = SimulatorPool::new(net.topology.clone());
                     let mut scratch = MdaScratch::new();
-                    let mut out = Vec::new();
+                    let mut out = MultipathBlock::empty();
                     while let Some(unit) = next_unit(worker_idx, &local, stealers) {
-                        out.push(run_multipath_unit(unit, net, config, &mut pool, &mut scratch));
+                        // Same unit isolation as the side-by-side
+                        // campaign: catch the unit's panic, rebuild the
+                        // worker's pool and scratch, quarantine.
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            run_multipath_unit(unit, net, config, &mut pool, &mut scratch)
+                        }));
+                        match result {
+                            Ok(tagged) => out.units.push(tagged),
+                            Err(payload) => {
+                                pool = SimulatorPool::new(net.topology.clone());
+                                scratch = MdaScratch::new();
+                                let (dest_idx, round, unit_stream) =
+                                    unit_coords(unit, net.dests.len(), config.seed);
+                                out.quarantined.push(QuarantinedUnit {
+                                    unit,
+                                    dest: dest_idx,
+                                    round,
+                                    addr: net.dests[dest_idx].addr,
+                                    seed: unit_stream,
+                                    panic: panic_text(payload),
+                                });
+                            }
+                        }
                     }
                     out
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles.into_iter().map(|h| h.join().expect("campaign worker died")).collect()
     });
 
-    let mut tagged: Vec<TaggedUnit> = outputs.into_iter().flatten().collect();
-    tagged.sort_by_key(|(unit, _, _)| *unit);
-    let total_virtual: f64 = tagged.iter().map(|(_, _, v)| v).sum();
-    let units: Vec<UnitDiscovery> = tagged.into_iter().map(|(_, u, _)| u).collect();
+    let mut merged = MultipathBlock::empty();
+    for out in outputs {
+        merged.absorb(out);
+    }
+    merged
+}
+
+/// Order-sensitive assembly of the multipath result from an (unordered)
+/// fold of every unit — the counterpart of [`finalize_campaign`].
+pub(crate) fn finalize_multipath(
+    net: &SyntheticInternet,
+    config: &MultipathConfig,
+    out: MultipathBlock,
+) -> MultipathResult {
+    let MultipathBlock { mut units, mut quarantined } = out;
+    let n_dests = net.dests.len();
+    units.sort_by_key(|(unit, _, _)| *unit);
+    quarantined.sort_by_key(|q| q.unit);
+    let total_virtual: f64 = units.iter().map(|(_, _, v)| v).sum();
+    let units: Vec<UnitDiscovery> = units.into_iter().map(|(_, u, _)| u).collect();
 
     // Merge rounds into the per-destination view (units are sorted
     // round-major, so iterating them folds rounds in round order).
@@ -641,6 +954,7 @@ pub fn run_multipath(net: &SyntheticInternet, config: &MultipathConfig) -> Multi
             class: BalancerClass::NotBalanced,
             probes: 0,
             reached: false,
+            degraded: false,
         })
         .collect();
     for u in &units {
@@ -651,6 +965,7 @@ pub fn run_multipath(net: &SyntheticInternet, config: &MultipathConfig) -> Multi
         d.class = stronger_class(d.class, u.class);
         d.probes += u.probes;
         d.reached |= u.reached;
+        d.degraded |= u.degraded;
     }
 
     let mut report = MultipathReport {
@@ -664,6 +979,7 @@ pub fn run_multipath(net: &SyntheticInternet, config: &MultipathConfig) -> Multi
         width_hist: [0; 3],
         delta_hist: [0; 3],
         mean_probes: 0.0,
+        degraded_units: units.iter().filter(|u| u.degraded).count(),
     };
     let mut probes_total = 0usize;
     for d in &per_dest {
@@ -688,6 +1004,7 @@ pub fn run_multipath(net: &SyntheticInternet, config: &MultipathConfig) -> Multi
         per_dest,
         report,
         mean_virtual_secs: total_virtual / n_dests.max(1) as f64,
+        quarantined,
     }
 }
 
@@ -699,17 +1016,24 @@ fn run_multipath_unit(
     config: &MultipathConfig,
     pool: &mut SimulatorPool,
     scratch: &mut MdaScratch,
-) -> (UnitId, UnitDiscovery, f64) {
-    let n_dests = net.dests.len();
-    let dest_idx = unit as usize % n_dests;
-    let round = unit as usize / n_dests;
+) -> TaggedUnit {
+    let (dest_idx, round, unit_stream) = unit_coords(unit, net.dests.len(), config.seed);
     let dest = &net.dests[dest_idx];
 
-    let dest_stream = splitmix64(config.seed ^ splitmix64(dest_idx as u64 + 1));
-    let unit_stream = splitmix64(dest_stream ^ (round as u64 + 1));
+    if config.inject.panic_units.contains(&unit) {
+        panic!("injected fault: unit {unit} (dest {dest_idx}, round {round})");
+    }
+
     let mut rng = StdRng::seed_from_u64(unit_stream);
     let sim = pool.acquire(splitmix64(unit_stream ^ 0x6d64_6121));
     let mut tx = SimTransport::new(sim, net.source);
+
+    // Injected runaway: a permanent forwarding loop mid-branch — the
+    // walk inches hop by hop to its TTL ceiling unless a watchdog
+    // budget cuts it off first. No RNG draws consumed.
+    if config.inject.runaway_units.contains(&unit) {
+        install_runaway_loop(&mut tx, dest, &net.topology);
+    }
 
     // The study's port discipline: draw the flow family's base source
     // port and the destination port uniformly, leaving room above the
@@ -756,6 +1080,7 @@ fn run_multipath_unit(
         unconverged_hops: map.hops.iter().filter(|h| !h.converged).count(),
         probes: map.total_probes,
         reached: map.reached,
+        degraded: map.degraded,
     };
     scratch.recycle(map);
     let virtual_secs = tx.now().as_secs_f64();
@@ -1009,6 +1334,126 @@ mod tests {
             sequential.mean_virtual_secs,
             windowed.mean_virtual_secs
         );
+    }
+
+    #[test]
+    fn injected_panic_is_quarantined_without_contaminating_healthy_units() {
+        let net = generate(&InternetConfig::tiny(42));
+        let inject = |units: &[u32]| InjectConfig {
+            panic_units: units.iter().copied().collect(),
+            runaway_units: BTreeSet::new(),
+        };
+        let digest = |workers: usize| {
+            let cfg = CampaignConfig {
+                rounds: 2,
+                workers,
+                seed: 99,
+                inject: inject(&[5, 41]),
+                ..CampaignConfig::default()
+            };
+            let result = run(&net, &cfg);
+            // Both poisoned units are reported, in unit order, with
+            // their coordinates and the panic message.
+            assert_eq!(
+                result.quarantined.iter().map(|q| q.unit).collect::<Vec<_>>(),
+                vec![5, 41],
+                "workers = {workers}"
+            );
+            assert_eq!(result.quarantined[0].dest, 5);
+            assert_eq!(result.quarantined[0].round, 0);
+            assert_eq!(result.quarantined[1].dest, 1);
+            assert_eq!(result.quarantined[1].round, 1);
+            assert_eq!(result.quarantined[0].addr, net.dests[5].addr);
+            assert!(result.quarantined[0].panic.contains("injected fault: unit 5"));
+            // The poisoned units' routes are fully discarded: 80 units
+            // minus 2 quarantined, two tools each.
+            assert_eq!(result.classic_report.routes_total, 78);
+            assert_eq!(result.paris_report.routes_total, 78);
+            crate::report::report_digest(&result)
+        };
+        // Healthy-unit results are byte-identical whatever worker
+        // claimed the poisoned units.
+        let baseline = digest(1);
+        for workers in [4, 8] {
+            assert_eq!(digest(workers), baseline, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn injected_runaway_unit_is_cut_by_the_watchdog_budget() {
+        let net = generate(&InternetConfig::tiny(42));
+        let config = |workers: usize, runaway: &[u32]| CampaignConfig {
+            rounds: 2,
+            workers,
+            seed: 99,
+            // Generous for any organic trace on tiny(42) (paper
+            // settings probe one TTL each from 2..=39, so an organic
+            // worst case is bounded by the star limit well short of
+            // this), but far below what a trace stuck in a permanent
+            // forwarding loop would burn running to the 39-hop ceiling.
+            trace: TraceConfig { probe_budget: 30, ..TraceConfig::paper() },
+            inject: InjectConfig {
+                panic_units: BTreeSet::new(),
+                runaway_units: runaway.iter().copied().collect(),
+            },
+            ..CampaignConfig::default()
+        };
+        let clean = run(&net, &config(4, &[]));
+        assert_eq!(
+            clean.classic_report.degraded_routes + clean.paris_report.degraded_routes,
+            0,
+            "budget must not trip on healthy units"
+        );
+        let digest = |workers: usize| {
+            let result = run(&net, &config(workers, &[7]));
+            // Both of unit 7's traces hit the watchdog and are marked
+            // degraded instead of spinning to the TTL ceiling.
+            assert_eq!(result.classic_report.degraded_routes, 1, "workers = {workers}");
+            assert_eq!(result.paris_report.degraded_routes, 1, "workers = {workers}");
+            assert!(result.quarantined.is_empty());
+            crate::report::report_digest(&result)
+        };
+        let baseline = digest(1);
+        for workers in [4, 8] {
+            assert_eq!(digest(workers), baseline, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn multipath_panic_and_runaway_units_are_isolated() {
+        let net = generate(&InternetConfig::tiny(42));
+        let config = |workers: usize| {
+            let mut mc = MultipathConfig { rounds: 2, workers, seed: 7, ..Default::default() };
+            // Ample for an organic walk on tiny(42) (the longest takes
+            // 181 probes); a walk crawling a permanent forwarding loop
+            // hop-by-hop to its TTL ceiling takes 314.
+            mc.mda.probe_budget = 240;
+            mc.inject.panic_units.insert(3);
+            mc.inject.runaway_units.insert(9);
+            mc
+        };
+        let digest = |workers: usize| {
+            let result = run_multipath(&net, &config(workers));
+            assert_eq!(
+                result.quarantined.iter().map(|q| q.unit).collect::<Vec<_>>(),
+                vec![3],
+                "workers = {workers}"
+            );
+            assert!(result.quarantined[0].panic.contains("injected fault: unit 3"));
+            // The quarantined unit contributes nothing.
+            assert_eq!(result.units.len(), 79, "workers = {workers}");
+            // The runaway walk is budget-degraded, not endless.
+            let runaway = result.units.iter().find(|u| u.dest == 9 && u.round == 0).unwrap();
+            assert!(runaway.degraded, "workers = {workers}");
+            assert!(runaway.probes <= 240, "workers = {workers}");
+            assert_eq!(result.report.degraded_units, 1, "workers = {workers}");
+            assert!(result.per_dest[9].degraded);
+            crate::report::multipath_digest(&result)
+        };
+        let baseline = digest(1);
+        for workers in [4, 8] {
+            assert_eq!(digest(workers), baseline, "workers = {workers}");
+        }
     }
 
     #[test]

@@ -231,6 +231,56 @@ fn dest_matches_truth(truth: &pt_topogen::DestTruth, d: &DestMultipath) -> bool 
     }
 }
 
+/// Loop/cycle anomaly signatures partitioned by whether they coincide
+/// with a destination the generator gave a hostile fault — the
+/// rate-limiters, MPLS tunnels, UDP filters and asymmetric returns of
+/// the fault-injection engine corrupt measurements in ways that mimic
+/// genuine routing anomalies, and an analyst reading the campaign
+/// report needs the two populations separated before drawing §4-style
+/// conclusions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultAttribution {
+    /// Loop signatures `(looping address, destination)` at destinations
+    /// with at least one planted hostile fault
+    /// ([`pt_topogen::DestTruth::any_hostile_fault`]) — likely
+    /// fault-induced rather than genuine routing anomalies.
+    pub fault_induced: Vec<(Ipv4Addr, Ipv4Addr)>,
+    /// Loop signatures at destinations without any hostile fault.
+    pub organic: Vec<(Ipv4Addr, Ipv4Addr)>,
+    /// Destinations carrying a hostile fault that produced no loop
+    /// signature at all (faults that degraded quietly).
+    pub silent_fault_dests: usize,
+}
+
+/// Partition a campaign accumulator's loop signatures by hostile-fault
+/// coincidence (typically the classic accumulator, which sees the
+/// anomalies Paris suppresses). Signatures come back sorted for stable
+/// reporting.
+pub fn attribute_fault_anomalies(
+    net: &SyntheticInternet,
+    classic: &CampaignAccumulator,
+) -> FaultAttribution {
+    let hostile: HashSet<Ipv4Addr> =
+        net.dests.iter().filter(|d| d.truth.any_hostile_fault()).map(|d| d.addr).collect();
+    let mut fault_induced = Vec::new();
+    let mut organic = Vec::new();
+    for sig in classic.loop_signatures() {
+        if hostile.contains(&sig.1) {
+            fault_induced.push(sig);
+        } else {
+            organic.push(sig);
+        }
+    }
+    fault_induced.sort();
+    organic.sort();
+    let looped: HashSet<Ipv4Addr> = fault_induced.iter().map(|&(_, dest)| dest).collect();
+    FaultAttribution {
+        silent_fault_dests: hostile.difference(&looped).count(),
+        fault_induced,
+        organic,
+    }
+}
+
 /// Recovery of hostile-fault destinations by the adaptive walker,
 /// scored against a fixed-rate baseline over the same network — the
 /// PR-6 acceptance metric.
@@ -355,5 +405,34 @@ mod tests {
         let s = CauseScore { truth_positives: 0, flagged: 0, hits: 0 };
         assert_eq!(s.precision(), 1.0);
         assert_eq!(s.recall(), 1.0);
+    }
+
+    #[test]
+    fn fault_attribution_partitions_by_hostile_truth() {
+        let net = generate(&InternetConfig::hostile(11));
+        let hostile: std::collections::HashSet<_> =
+            net.dests.iter().filter(|d| d.truth.any_hostile_fault()).map(|d| d.addr).collect();
+        assert!(!hostile.is_empty(), "hostile preset plants faults");
+        let cc = CampaignConfig { rounds: 3, workers: 4, seed: 5, ..Default::default() };
+        let result = run(&net, &cc);
+        let attr = attribute_fault_anomalies(&net, &result.classic);
+        // The partition is exact: every signature lands on exactly one
+        // side, decided by the destination's planted truth.
+        let total = result.classic.loop_signatures().len();
+        assert_eq!(attr.fault_induced.len() + attr.organic.len(), total);
+        for (_, dest) in &attr.fault_induced {
+            assert!(hostile.contains(dest));
+        }
+        for (_, dest) in &attr.organic {
+            assert!(!hostile.contains(dest));
+        }
+        // Silent faults + looping faults cover the hostile population.
+        let looping: std::collections::HashSet<_> =
+            attr.fault_induced.iter().map(|&(_, d)| d).collect();
+        assert_eq!(attr.silent_fault_dests, hostile.len() - looping.len());
+        // Sorted output for stable reporting.
+        let mut sorted = attr.fault_induced.clone();
+        sorted.sort();
+        assert_eq!(sorted, attr.fault_induced);
     }
 }

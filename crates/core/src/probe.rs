@@ -44,6 +44,20 @@ impl StrategyId {
         }
     }
 
+    /// Inverse of [`StrategyId::name`] — what the campaign snapshot
+    /// loader uses to parse a tool id back out of a checkpoint file.
+    pub fn from_name(s: &str) -> Option<StrategyId> {
+        Some(match s {
+            "classic-udp" => StrategyId::ClassicUdp,
+            "classic-icmp" => StrategyId::ClassicIcmp,
+            "paris-udp" => StrategyId::ParisUdp,
+            "paris-icmp" => StrategyId::ParisIcmp,
+            "paris-tcp" => StrategyId::ParisTcp,
+            "tcptraceroute" => StrategyId::TcpTraceroute,
+            _ => return None,
+        })
+    }
+
     /// Whether the tool keeps the flow identifier constant across probes
     /// of one trace (the paper's criterion).
     pub fn keeps_flow_constant(self) -> bool {

@@ -132,6 +132,12 @@ pub enum HaltReason {
     StarLimit,
     /// The 39-hop ceiling.
     MaxTtl,
+    /// A watchdog budget ([`crate::tracer::TraceConfig::probe_budget`]
+    /// or [`crate::tracer::TraceConfig::time_budget`]) tripped before
+    /// the trace halted on its own. The route is a valid prefix of what
+    /// an unbudgeted trace would have measured, but it is *degraded*:
+    /// consumers must not read its tail as the end of the path.
+    Budget,
 }
 
 /// One traceroute's output.
@@ -156,6 +162,12 @@ impl MeasuredRoute {
     /// address or star), excluding `r0`.
     pub fn addresses(&self) -> Vec<Option<Ipv4Addr>> {
         self.hops.iter().map(Hop::first_addr).collect()
+    }
+
+    /// Whether a watchdog budget cut this trace short
+    /// ([`HaltReason::Budget`]).
+    pub fn degraded(&self) -> bool {
+        self.halt == HaltReason::Budget
     }
 
     /// Whether the destination itself answered.

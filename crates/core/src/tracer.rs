@@ -147,6 +147,21 @@ pub struct TraceConfig {
     /// virtual probing time roughly ×`window` while measuring the same
     /// route on deterministic lossless paths (see the module docs).
     pub window: u8,
+    /// Watchdog: hard ceiling on probes one trace may send (`0` =
+    /// unlimited). When it trips, the send gate closes, in-flight
+    /// probes drain normally, and the route halts with
+    /// [`HaltReason::Budget`] unless an organic halt (terminal reply,
+    /// star limit) lands first while draining.
+    pub probe_budget: u32,
+    /// Watchdog: ceiling on the virtual time one trace may consume
+    /// ([`SimDuration::ZERO`] = unlimited), measured from the trace's
+    /// first transport observation. Checked before each send, so the
+    /// trace never launches a probe past the ceiling; same wind-down
+    /// and [`HaltReason::Budget`] semantics as
+    /// [`TraceConfig::probe_budget`]. Virtual time makes the cut
+    /// deterministic: the same trace degrades at the same probe on
+    /// every run and every worker count.
+    pub time_budget: SimDuration,
 }
 
 impl Default for TraceConfig {
@@ -158,6 +173,8 @@ impl Default for TraceConfig {
             timeout: SimDuration::from_secs(2),
             max_consecutive_stars: 8,
             window: 3,
+            probe_budget: 0,
+            time_budget: SimDuration::ZERO,
         }
     }
 }
@@ -214,10 +231,12 @@ struct Outstanding {
     expired: bool,
 }
 
-/// Per-hop probe vectors the scratch retains; a trace never exceeds the
-/// 39-hop ceiling, so this bounds nothing in practice — it only guards
-/// against a caller recycling routes it never traces.
-const SCRATCH_HOP_POOL_CAP: usize = 64;
+/// Per-hop probe vectors the scratch retains; sized for a caller that
+/// holds a full-length *pair* of routes alive before recycling both at
+/// once (the campaign's crash-isolated work unit does exactly that), so
+/// the cap only guards against a caller recycling routes it never
+/// traces.
+const SCRATCH_HOP_POOL_CAP: usize = 96;
 
 /// Reusable per-trace bookkeeping: the outstanding-probe registry, the
 /// per-hop progress counters, and pools of hop/probe vectors harvested
@@ -340,6 +359,13 @@ pub fn trace_with<T: Transport>(
     let mut consecutive_stars: u8 = 0;
     let mut halt = HaltReason::MaxTtl;
 
+    // Watchdog budgets: the virtual-time cutoff is anchored at the
+    // trace's start, and `budget_hit` remembers that a ceiling closed
+    // the send gate so the halt reason can say so after wind-down.
+    let time_cutoff =
+        (config.time_budget.nanos() > 0).then(|| transport.now() + config.time_budget);
+    let mut budget_hit = false;
+
     // Send cursor: probes launch in strict (TTL, slot) order.
     let mut next_ttl = config.min_ttl;
     let mut next_slot: usize = 0;
@@ -382,6 +408,22 @@ pub fn trace_with<T: Transport>(
         //    gets its full probe complement — classic traceroute sends
         //    all three probes at the terminal TTL).
         while !sent_done && outstanding < window {
+            if (config.probe_budget != 0 && probe_idx >= u64::from(config.probe_budget))
+                || time_cutoff.is_some_and(|cutoff| transport.now() >= cutoff)
+            {
+                // Watchdog tripped: close the send gate for good and
+                // let the probes already in flight drain. A hop cut
+                // mid-complement keeps only the slots actually probed,
+                // so star and probe accounting stay honest.
+                budget_hit = true;
+                sent_done = true;
+                if next_slot != 0 {
+                    if let Some(hop) = hops.last_mut() {
+                        hop.probes.truncate(next_slot);
+                    }
+                }
+                break;
+            }
             let hop_index = if next_slot == 0 { hops.len() } else { hops.len() - 1 };
             if terminal_hop.is_some_and(|h| hop_index > h) {
                 break;
@@ -503,6 +545,12 @@ pub fn trace_with<T: Transport>(
             terminal_hop = Some(o.hop);
         }
         transport.release(resp);
+    }
+
+    // A budget cut only claims the halt when nothing organic landed
+    // while draining: a terminal reply or the star limit still wins.
+    if budget_hit && halt == HaltReason::MaxTtl {
+        halt = HaltReason::Budget;
     }
 
     MeasuredRoute {
@@ -727,6 +775,62 @@ mod tests {
             assert_eq!(route.hops.len(), 8, "window {window}: exactly the star limit");
             assert!(route.hops.iter().all(|h| h.probes.is_empty()), "window {window}");
         }
+    }
+
+    #[test]
+    fn probe_budget_degrades_a_long_trace_deterministically() {
+        let sc = scenarios::linear(6);
+        let config = TraceConfig { probe_budget: 3, ..TraceConfig::default() };
+        let mut tx = transport(&sc, 1);
+        let mut strat = ParisUdp::new(41000, 52000);
+        let route = trace(&mut tx, &mut strat, sc.destination, config);
+        assert_eq!(route.halt, HaltReason::Budget);
+        assert!(route.degraded());
+        assert_eq!(route.probes_sent(), 3, "the gate closes exactly at the ceiling");
+        assert_eq!(route.hops.len(), 3);
+        assert!(!route.reached_destination());
+        // The cut is a pure function of the config: a rerun degrades at
+        // the identical probe.
+        let mut tx = transport(&sc, 1);
+        let mut strat = ParisUdp::new(41000, 52000);
+        assert_eq!(trace(&mut tx, &mut strat, sc.destination, config), route);
+    }
+
+    #[test]
+    fn budgeted_trace_that_finishes_in_budget_is_identical_to_unbudgeted() {
+        let sc = scenarios::linear(6);
+        let mut tx = transport(&sc, 1);
+        let mut strat = ParisUdp::new(41000, 52000);
+        let plain = trace(&mut tx, &mut strat, sc.destination, TraceConfig::default());
+        assert_eq!(plain.halt, HaltReason::Terminal);
+
+        // Budget of exactly the 7 committed probes: the windowed driver
+        // wants to speculate past them, the gate blocks that, and the
+        // terminal reply lands while draining — an organic halt, so the
+        // route is not marked degraded and matches the unbudgeted one.
+        let config = TraceConfig {
+            probe_budget: 7,
+            time_budget: SimDuration::from_secs(600),
+            ..TraceConfig::default()
+        };
+        let mut tx = transport(&sc, 1);
+        let mut strat = ParisUdp::new(41000, 52000);
+        let budgeted = trace(&mut tx, &mut strat, sc.destination, config);
+        assert_eq!(budgeted, plain);
+        assert!(!budgeted.degraded());
+    }
+
+    #[test]
+    fn time_budget_cuts_a_blackhole_trace_before_the_star_limit() {
+        // The blackhole tail burns a 2 s timeout per star; a 3 s budget
+        // stops the trace well before the 8-star abandonment.
+        let (mut tx, dst) = blackhole();
+        let mut strat = ParisUdp::new(41000, 52000);
+        let config =
+            TraceConfig { time_budget: SimDuration::from_secs(3), ..TraceConfig::default() };
+        let route = trace(&mut tx, &mut strat, dst, config);
+        assert_eq!(route.halt, HaltReason::Budget, "{route:?}");
+        assert!(route.stars() < 8, "cut short of the star limit: {route:?}");
     }
 
     #[test]

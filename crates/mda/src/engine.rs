@@ -144,6 +144,18 @@ pub struct MdaConfig {
     /// Consecutive all-star hops that trigger the protocol fallback.
     /// Must be below `max_consecutive_stars` or abandonment wins.
     pub fallback_after_stars: u8,
+    /// Watchdog: hard ceiling on probes one walk may send (`0` =
+    /// unlimited; the 15-bit id space still caps every walk). When it
+    /// trips with enumeration still wanting probes, the walk winds
+    /// down and the resulting map is marked
+    /// [`MultipathMap::degraded`].
+    pub probe_budget: usize,
+    /// Watchdog: ceiling on the virtual time one walk may consume
+    /// ([`SimDuration::ZERO`] = unlimited), measured from the walk's
+    /// start. Same wind-down and degradation semantics as
+    /// [`MdaConfig::probe_budget`]; virtual time makes the cut
+    /// deterministic for any worker count.
+    pub time_budget: SimDuration,
 }
 
 impl Default for MdaConfig {
@@ -167,6 +179,8 @@ impl Default for MdaConfig {
             dead_hop_flows: 0,
             protocol_fallback: false,
             fallback_after_stars: 2,
+            probe_budget: 0,
+            time_budget: SimDuration::ZERO,
         }
     }
 }
@@ -679,6 +693,19 @@ pub fn discover_with<T: Transport>(
     let mut proto = config.protocol;
     let kept: usize;
 
+    // Watchdog budgets: the probe gate folds the configured ceiling
+    // into the id-space cap; the time cutoff is anchored at the walk's
+    // start. `budget_hit` records that a closed gate cut off launches
+    // the walk still wanted, which marks the resulting map degraded.
+    let start = transport.now();
+    let probe_gate = if config.probe_budget == 0 {
+        usize::from(ID_SPACE)
+    } else {
+        config.probe_budget.min(usize::from(ID_SPACE))
+    };
+    let time_cutoff = (config.time_budget.nanos() > 0).then(|| start + config.time_budget);
+    let mut budget_hit = false;
+
     'drive: loop {
         // 1. Finalize complete hops in TTL order. Everything the map
         //    reports — which hops exist, where the walk stops — is
@@ -729,7 +756,25 @@ pub fn discover_with<T: Transport>(
         //    rather than recycling ids into mis-attribution.
         let now = transport.now();
         let mut wake: Option<SimTime> = None;
-        while scratch.registry.len() < window && total_probes < usize::from(ID_SPACE) {
+        while scratch.registry.len() < window {
+            if total_probes >= probe_gate || time_cutoff.is_some_and(|cutoff| now >= cutoff) {
+                // A watchdog (or the id space) closed the launch gate.
+                // Leaving `wake` unset lets the walk wind down: once
+                // the registry drains, nothing reopens it. The map is
+                // degraded only if enumeration still wanted probes —
+                // a walk that was already done keeps a clean bill.
+                if !budget_hit {
+                    let (launch, next_ready) = next_launch(
+                        &scratch.states[..opened],
+                        &mut scratch.rule,
+                        config,
+                        frontier,
+                        now,
+                    );
+                    budget_hit = launch.is_some() || next_ready.is_some();
+                }
+                break;
+            }
             let (launch, next_ready) =
                 next_launch(&scratch.states[..opened], &mut scratch.rule, config, frontier, now);
             wake = next_ready;
@@ -988,7 +1033,7 @@ pub fn discover_with<T: Transport>(
     links.sort_unstable();
     links.dedup();
     let reached = hops.iter().any(|h| h.interfaces.contains(&destination));
-    MultipathMap { destination, hops, links, total_probes, reached }
+    MultipathMap { destination, hops, links, total_probes, reached, degraded: budget_hit }
 }
 
 /// Deterministic launch priority: scan hops from the finalization

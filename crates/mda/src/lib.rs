@@ -251,6 +251,46 @@ mod tests {
     }
 
     #[test]
+    fn probe_budget_degrades_a_walk_deterministically() {
+        let sc = scenarios::fig6(BalancerKind::PerFlow(FlowPolicy::FiveTuple));
+        let walk = |budget: usize| {
+            let mut tx = transport(&sc, 5);
+            let config = MdaConfig { probe_budget: budget, ..MdaConfig::default() };
+            discover(&mut tx, sc.destination, &config)
+        };
+        let full = walk(0);
+        assert!(!full.degraded, "an unbudgeted walk is never degraded");
+
+        // A budget below the walk's appetite cuts enumeration short:
+        // the map is flagged, its probe spend respects the ceiling, and
+        // a rerun produces the identical degraded prefix.
+        let cut = walk(10);
+        assert!(cut.degraded, "the gate closed with enumeration still hungry");
+        assert!(cut.total_probes <= 10, "{}", cut.total_probes);
+        assert!(cut.hops.len() < full.hops.len());
+        assert_eq!(cut.dag_digest(), walk(10).dag_digest());
+
+        // A budget at or above the walk's appetite never trips.
+        let roomy = walk(full.total_probes);
+        assert!(!roomy.degraded);
+        assert_eq!(roomy.dag_digest(), full.dag_digest());
+    }
+
+    #[test]
+    fn time_budget_degrades_a_walk() {
+        let sc = scenarios::fig6(BalancerKind::PerFlow(FlowPolicy::FiveTuple));
+        let mut tx = transport(&sc, 5);
+        let config = MdaConfig {
+            time_budget: SimDuration::from_millis(40),
+            ..MdaConfig::default().sequential()
+        };
+        let map = discover(&mut tx, sc.destination, &config);
+        assert!(map.degraded, "a 40 ms ceiling cannot cover the whole sequential walk");
+        let full = discover(&mut transport(&sc, 5), sc.destination, &MdaConfig::default());
+        assert!(map.hops.len() <= full.hops.len());
+    }
+
+    #[test]
     fn firewalled_destination_abandons_at_the_star_limit() {
         let mut b = pt_netsim::TopologyBuilder::new();
         let s = b.host("S", pt_netsim::HostConfig::default());

@@ -94,6 +94,11 @@ pub struct MultipathMap {
     pub total_probes: usize,
     /// A committed probe was answered by the destination itself.
     pub reached: bool,
+    /// A watchdog budget (probe count or virtual time) closed the
+    /// launch gate while enumeration still wanted probes: the map is a
+    /// valid but incomplete prefix of the full DAG, and widths are
+    /// lower bounds everywhere, converged or not.
+    pub degraded: bool,
 }
 
 impl MultipathMap {
@@ -211,7 +216,11 @@ impl MultipathMap {
     pub fn dag_digest(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
-        let _ = writeln!(out, "destination: {} reached: {}", self.destination, self.reached);
+        let _ = writeln!(
+            out,
+            "destination: {} reached: {} degraded: {}",
+            self.destination, self.reached, self.degraded
+        );
         for hop in &self.hops {
             let _ = write!(
                 out,

@@ -1,0 +1,80 @@
+//! Crash-safe campaign demo: run half a campaign, checkpoint, "crash",
+//! resume from the snapshot, and show the resumed digest is
+//! byte-identical to an uninterrupted run — with a panicking unit
+//! quarantined and a runaway unit cut by the watchdog along the way.
+//!
+//! The CI `resume-smoke` job drives the same flow across two separate
+//! processes:
+//!
+//! ```sh
+//! cargo run --release --example checkpoint_resume -- start ckpt.snap
+//! cargo run --release --example checkpoint_resume -- resume ckpt.snap
+//! cargo run --release --example checkpoint_resume -- plain
+//! ```
+//!
+//! `start` stops after the first checkpoint (simulating a kill) and
+//! leaves the snapshot behind; `resume` finishes the campaign from it
+//! and prints the digest; `plain` prints the uninterrupted digest for
+//! comparison. With no arguments, all three run in-process and the
+//! digests are diffed here.
+
+use std::path::PathBuf;
+
+use paris_traceroute_repro::campaign::{
+    report_digest, run, run_checkpointed, run_resumed, CampaignConfig, CheckpointConfig,
+};
+use paris_traceroute_repro::topogen::{generate, InternetConfig};
+
+fn config() -> CampaignConfig {
+    let mut config = CampaignConfig { rounds: 2, workers: 4, seed: 99, ..Default::default() };
+    // One unit panics mid-trace (quarantined, reported, discarded); one
+    // runs into an injected permanent forwarding loop (cut by the
+    // per-unit probe budget and marked degraded).
+    config.trace.probe_budget = 30;
+    config.inject.panic_units.insert(5);
+    config.inject.runaway_units.insert(7);
+    config
+}
+
+fn checkpoint(path: PathBuf, stop_after: Option<usize>) -> CheckpointConfig {
+    CheckpointConfig { path, every_units: 40, stop_after_checkpoints: stop_after }
+}
+
+fn main() {
+    let net = generate(&InternetConfig::tiny(42));
+    let config = config();
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("plain") => {
+            println!("{}", report_digest(&run(&net, &config)));
+        }
+        Some("start") => {
+            let path = PathBuf::from(args.next().expect("usage: start <snapshot-path>"));
+            let early = run_checkpointed(&net, &config, &checkpoint(path.clone(), Some(1)))
+                .expect("checkpoint written");
+            assert!(early.is_none(), "stopped at the first checkpoint");
+            eprintln!("killed after first checkpoint; snapshot at {}", path.display());
+        }
+        Some("resume") => {
+            let path = PathBuf::from(args.next().expect("usage: resume <snapshot-path>"));
+            let result = run_resumed(&net, &config, &checkpoint(path, None))
+                .expect("snapshot loads")
+                .expect("resumed campaign completes");
+            println!("{}", report_digest(&result));
+        }
+        Some(other) => panic!("unknown mode {other:?} (expected plain|start|resume)"),
+        None => {
+            let mut path = std::env::temp_dir();
+            path.push(format!("pt-resume-demo-{}.snap", std::process::id()));
+            let uninterrupted = report_digest(&run(&net, &config));
+            run_checkpointed(&net, &config, &checkpoint(path.clone(), Some(1))).unwrap();
+            let resumed = run_resumed(&net, &config, &checkpoint(path.clone(), None))
+                .unwrap()
+                .expect("resumed campaign completes");
+            let _ = std::fs::remove_file(&path);
+            assert_eq!(report_digest(&resumed), uninterrupted);
+            println!("{}", report_digest(&resumed));
+            eprintln!("kill-and-resume digest matches the uninterrupted run, byte for byte");
+        }
+    }
+}
