@@ -2,7 +2,7 @@
 //! anomalies across rounds and tools, then difference classic against
 //! Paris to attribute causes the way the paper does.
 
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::net::Ipv4Addr;
 
 use pt_core::{HaltReason, MeasuredRoute, StrategyId};
@@ -25,7 +25,7 @@ type FastSet<T> = HashSet<T, AddrHashBuilder>;
 pub type Signature = (Ipv4Addr, Ipv4Addr);
 
 /// The paper's final attribution of a classic-traceroute loop.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FinalLoopCause {
     /// Signature vanished under Paris: per-flow load balancing (87%).
     PerFlowLoadBalancing,
@@ -40,7 +40,7 @@ pub enum FinalLoopCause {
 }
 
 /// The paper's final attribution of a classic-traceroute cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FinalCycleCause {
     /// Signature vanished under Paris (78%).
     PerFlowLoadBalancing,
@@ -205,18 +205,19 @@ impl CampaignAccumulator {
         self.addrs_seen.iter()
     }
 
-    /// Loop signatures observed (for differencing).
-    pub fn loop_signatures(&self) -> HashSet<Signature> {
+    /// Loop signatures observed (for differencing). Ordered so that
+    /// every downstream iteration is deterministic by construction.
+    pub fn loop_signatures(&self) -> BTreeSet<Signature> {
         self.loop_sig_rounds.keys().copied().collect()
     }
 
     /// Cycle signatures observed.
-    pub fn cycle_signatures(&self) -> HashSet<Signature> {
+    pub fn cycle_signatures(&self) -> BTreeSet<Signature> {
         self.cycle_sig_rounds.keys().copied().collect()
     }
 
     /// Diamond signatures per destination: `(destination, head, tail)`.
-    pub fn diamond_signatures(&self) -> HashSet<(Ipv4Addr, Ipv4Addr, Ipv4Addr)> {
+    pub fn diamond_signatures(&self) -> BTreeSet<(Ipv4Addr, Ipv4Addr, Ipv4Addr)> {
         self.graphs
             .iter()
             .flat_map(|(d, g)| g.diamond_signatures().into_iter().map(move |(h, t)| (*d, h, t)))
@@ -594,9 +595,9 @@ pub struct ToolReport {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ComparisonReport {
     /// Loop-cause shares over all classic loop instances, in percent.
-    pub loop_causes: HashMap<FinalLoopCause, f64>,
+    pub loop_causes: BTreeMap<FinalLoopCause, f64>,
     /// Cycle-cause shares over all classic cycle instances, in percent.
-    pub cycle_causes: HashMap<FinalCycleCause, f64>,
+    pub cycle_causes: BTreeMap<FinalCycleCause, f64>,
     /// §4.3.2: share of classic diamonds absent under Paris (64%).
     pub diamond_per_flow_pct: f64,
     /// §4.1.2: loops seen *only* by Paris, as a share of classic loops
@@ -612,7 +613,7 @@ pub fn compare(classic: &CampaignAccumulator, paris: &CampaignAccumulator) -> Co
     let paris_loop_sigs = paris.loop_signatures();
     let paris_cycle_sigs = paris.cycle_signatures();
 
-    let mut loop_causes: HashMap<FinalLoopCause, u64> = HashMap::new();
+    let mut loop_causes: BTreeMap<FinalLoopCause, u64> = BTreeMap::new();
     for ((sig, cause), n) in &classic.loop_instances {
         let final_cause = match cause {
             LoopCause::Unreachability => FinalLoopCause::Unreachability,
@@ -630,7 +631,7 @@ pub fn compare(classic: &CampaignAccumulator, paris: &CampaignAccumulator) -> Co
     }
     let loop_total: u64 = loop_causes.values().sum();
 
-    let mut cycle_causes: HashMap<FinalCycleCause, u64> = HashMap::new();
+    let mut cycle_causes: BTreeMap<FinalCycleCause, u64> = BTreeMap::new();
     for ((sig, cause), n) in &classic.cycle_instances {
         let final_cause = match cause {
             CycleCause::Unreachability => FinalCycleCause::Unreachability,
@@ -666,12 +667,12 @@ pub fn compare(classic: &CampaignAccumulator, paris: &CampaignAccumulator) -> Co
     let loops_only_in_paris_pct =
         if loop_total == 0 { 0.0 } else { paris_only as f64 / loop_total as f64 * 100.0 };
 
-    let to_pct = |m: HashMap<FinalLoopCause, u64>, total: u64| {
+    let to_pct = |m: BTreeMap<FinalLoopCause, u64>, total: u64| {
         m.into_iter()
             .map(|(k, v)| (k, if total == 0 { 0.0 } else { v as f64 / total as f64 * 100.0 }))
             .collect()
     };
-    let to_pct_c = |m: HashMap<FinalCycleCause, u64>, total: u64| {
+    let to_pct_c = |m: BTreeMap<FinalCycleCause, u64>, total: u64| {
         m.into_iter()
             .map(|(k, v)| (k, if total == 0 { 0.0 } else { v as f64 / total as f64 * 100.0 }))
             .collect()

@@ -30,6 +30,8 @@
 //! at the workspace root (`BENCH_pr3.json` stays frozen as the
 //! committed baseline the floor compares against).
 
+// Bench harness: wall-clock timing is this crate's whole purpose.
+#![allow(clippy::disallowed_methods)]
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};

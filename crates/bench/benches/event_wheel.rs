@@ -10,6 +10,8 @@
 //! (wheel ≥ heap) arms only in real timing runs, never under
 //! `cargo bench -- --test` (the CI smoke pass).
 
+// Bench harness: wall-clock timing is this crate's whole purpose.
+#![allow(clippy::disallowed_methods)]
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::Instant;

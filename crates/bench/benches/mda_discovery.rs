@@ -21,6 +21,8 @@
 //! A real timing run records the numbers in `BENCH_pr5.json` at the
 //! workspace root.
 
+// Bench harness: wall-clock timing is this crate's whole purpose.
+#![allow(clippy::disallowed_methods)]
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};

@@ -9,6 +9,8 @@
 //! topology and writes the measured baseline to `BENCH_pr1.json` at the
 //! workspace root.
 
+// Bench harness: wall-clock timing is this crate's whole purpose.
+#![allow(clippy::disallowed_methods)]
 use std::sync::Arc;
 use std::time::Instant;
 

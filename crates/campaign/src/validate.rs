@@ -6,7 +6,7 @@
 //! zero-TTL forwarder, how many did the classic campaign flag with a
 //! zero-TTL loop? Of the flagged ones, how many were real?
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 
 use pt_anomaly::r#loop::LoopCause;
@@ -71,9 +71,9 @@ pub fn validate_causes(
     classic: &CampaignAccumulator,
     paris: &CampaignAccumulator,
 ) -> ValidationReport {
-    let mut flagged_zero_ttl: HashSet<Ipv4Addr> = HashSet::new();
-    let mut flagged_rewriting: HashSet<Ipv4Addr> = HashSet::new();
-    let mut flagged_unreach: HashSet<Ipv4Addr> = HashSet::new();
+    let mut flagged_zero_ttl: BTreeSet<Ipv4Addr> = BTreeSet::new();
+    let mut flagged_rewriting: BTreeSet<Ipv4Addr> = BTreeSet::new();
+    let mut flagged_unreach: BTreeSet<Ipv4Addr> = BTreeSet::new();
     for (tool, _, route) in routes {
         if *tool != StrategyId::ClassicUdp {
             continue;
@@ -95,7 +95,7 @@ pub fn validate_causes(
     }
     // Per-flow attribution: classic loop signature absent under Paris.
     let paris_sigs = paris.loop_signatures();
-    let flagged_per_flow: HashSet<Ipv4Addr> = classic
+    let flagged_per_flow: BTreeSet<Ipv4Addr> = classic
         .loop_signatures()
         .into_iter()
         .filter(|sig| !paris_sigs.contains(sig))
@@ -103,7 +103,7 @@ pub fn validate_causes(
         .collect();
     // Only count per-flow flags at destinations without a route-local
     // cause (mirrors the attribution precedence).
-    let flagged_per_flow: HashSet<Ipv4Addr> = flagged_per_flow
+    let flagged_per_flow: BTreeSet<Ipv4Addr> = flagged_per_flow
         .difference(
             &flagged_zero_ttl
                 .union(&flagged_rewriting)
@@ -114,8 +114,8 @@ pub fn validate_causes(
         .copied()
         .collect();
 
-    let score = |flagged: &HashSet<Ipv4Addr>, truth: &dyn Fn(&pt_topogen::DestTruth) -> bool| {
-        let truth_set: HashSet<Ipv4Addr> =
+    let score = |flagged: &BTreeSet<Ipv4Addr>, truth: &dyn Fn(&pt_topogen::DestTruth) -> bool| {
+        let truth_set: BTreeSet<Ipv4Addr> =
             net.dests.iter().filter(|d| truth(&d.truth)).map(|d| d.addr).collect();
         CauseScore {
             truth_positives: truth_set.len(),
@@ -260,7 +260,7 @@ pub fn attribute_fault_anomalies(
     net: &SyntheticInternet,
     classic: &CampaignAccumulator,
 ) -> FaultAttribution {
-    let hostile: HashSet<Ipv4Addr> =
+    let hostile: BTreeSet<Ipv4Addr> =
         net.dests.iter().filter(|d| d.truth.any_hostile_fault()).map(|d| d.addr).collect();
     let mut fault_induced = Vec::new();
     let mut organic = Vec::new();
@@ -273,7 +273,7 @@ pub fn attribute_fault_anomalies(
     }
     fault_induced.sort();
     organic.sort();
-    let looped: HashSet<Ipv4Addr> = fault_induced.iter().map(|&(_, dest)| dest).collect();
+    let looped: BTreeSet<Ipv4Addr> = fault_induced.iter().map(|&(_, dest)| dest).collect();
     FaultAttribution {
         silent_fault_dests: hostile.difference(&looped).count(),
         fault_induced,
@@ -410,7 +410,7 @@ mod tests {
     #[test]
     fn fault_attribution_partitions_by_hostile_truth() {
         let net = generate(&InternetConfig::hostile(11));
-        let hostile: std::collections::HashSet<_> =
+        let hostile: std::collections::BTreeSet<_> =
             net.dests.iter().filter(|d| d.truth.any_hostile_fault()).map(|d| d.addr).collect();
         assert!(!hostile.is_empty(), "hostile preset plants faults");
         let cc = CampaignConfig { rounds: 3, workers: 4, seed: 5, ..Default::default() };
@@ -427,7 +427,7 @@ mod tests {
             assert!(!hostile.contains(dest));
         }
         // Silent faults + looping faults cover the hostile population.
-        let looping: std::collections::HashSet<_> =
+        let looping: std::collections::BTreeSet<_> =
             attr.fault_induced.iter().map(|&(_, d)| d).collect();
         assert_eq!(attr.silent_fault_dests, hostile.len() - looping.len());
         // Sorted output for stable reporting.

@@ -1,0 +1,340 @@
+//! A hand-rolled Rust lexer — just enough tokenization for line-level
+//! static analysis.
+//!
+//! The build environment has no crates.io access, so `syn`-grade
+//! parsing is off the table. What the determinism rules actually need
+//! is much weaker: identifier/punctuation streams that *never*
+//! misfire on the contents of string literals or comments, plus
+//! line numbers for diagnostics. This lexer delivers exactly that:
+//! comments (line, nested block), string literals (plain, raw with
+//! any hash count, byte, byte-raw), char literals vs lifetimes,
+//! numbers, identifiers, and single-character punctuation.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `fn`, `unsafe`, ...).
+    Ident,
+    /// A single punctuation character (`::` arrives as two `:` toks).
+    Punct(char),
+    /// Numeric literal (int or float; suffix included).
+    Num,
+    /// String literal, quotes included in `text`.
+    Str,
+    /// Char literal (`'a'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'_`, `'static`).
+    Lifetime,
+    /// Line or block comment, markers included in `text`.
+    Comment,
+}
+
+/// One token: kind, the exact source slice, and its starting line
+/// (1-based).
+#[derive(Debug, Clone, Copy)]
+pub struct Tok<'s> {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// The exact source text of the token.
+    pub text: &'s str,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Tokenize `src`. Unterminated literals/comments terminate at end of
+/// file rather than failing: a linter must keep going on odd input.
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        // Whitespace.
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            let start = i;
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            toks.push(Tok { kind: TokKind::Comment, text: &src[start..i], line });
+            continue;
+        }
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let (start, start_line) = (i, line);
+            let mut depth = 1usize;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            toks.push(Tok { kind: TokKind::Comment, text: &src[start..i], line: start_line });
+            continue;
+        }
+        // Raw / byte string prefixes and raw identifiers.
+        if c == b'r' || c == b'b' {
+            // r"..." | r#"..."# | b"..." | br"..." | br#"..."# | rb is
+            // not a thing; r#ident is a raw identifier.
+            let mut j = i;
+            let mut _byte = false;
+            if b[j] == b'b' {
+                _byte = true;
+                j += 1;
+            }
+            if j < b.len() && b[j] == b'r' {
+                j += 1;
+                let mut hashes = 0usize;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    // Raw string: ends at `"` + the same number of `#`.
+                    let (start, start_line) = (i, line);
+                    j += 1;
+                    loop {
+                        if j >= b.len() {
+                            break;
+                        }
+                        if b[j] == b'\n' {
+                            line += 1;
+                            j += 1;
+                            continue;
+                        }
+                        if b[j] == b'"' {
+                            let mut k = 0usize;
+                            while k < hashes && b.get(j + 1 + k) == Some(&b'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                    toks.push(Tok { kind: TokKind::Str, text: &src[start..j], line: start_line });
+                    i = j;
+                    continue;
+                }
+                if hashes == 1 && j < b.len() && is_ident_start(b[j]) && b[i] == b'r' {
+                    // Raw identifier r#foo: emit the bare name.
+                    let start = j;
+                    while j < b.len() && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                    toks.push(Tok { kind: TokKind::Ident, text: &src[start..j], line });
+                    i = j;
+                    continue;
+                }
+                // `r` / `b` not followed by a string: plain identifier.
+            } else if j < b.len() && b[j] == b'"' {
+                // b"...": scan as a normal (escaped) string below by
+                // falling through with the prefix folded in.
+                let (start, start_line) = (i, line);
+                let mut k = j + 1;
+                while k < b.len() {
+                    match b[k] {
+                        b'\\' => k += 2,
+                        b'\n' => {
+                            line += 1;
+                            k += 1;
+                        }
+                        b'"' => {
+                            k += 1;
+                            break;
+                        }
+                        _ => k += 1,
+                    }
+                }
+                toks.push(Tok { kind: TokKind::Str, text: &src[start..k], line: start_line });
+                i = k;
+                continue;
+            }
+            // Fall through: lex as a plain identifier.
+        }
+        if is_ident_start(c) {
+            let start = i;
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            toks.push(Tok { kind: TokKind::Ident, text: &src[start..i], line });
+            continue;
+        }
+        // Plain string literal.
+        if c == b'"' {
+            let (start, start_line) = (i, line);
+            i += 1;
+            while i < b.len() {
+                match b[i] {
+                    b'\\' => i += 2,
+                    b'\n' => {
+                        line += 1;
+                        i += 1;
+                    }
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            toks.push(Tok { kind: TokKind::Str, text: &src[start..i], line: start_line });
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == b'\'' {
+            let start = i;
+            let next = b.get(i + 1).copied();
+            let is_char = match next {
+                Some(b'\\') => true,
+                Some(n) if is_ident_start(n) => b.get(i + 2) == Some(&b'\''),
+                Some(_) => true,
+                None => false,
+            };
+            if is_char {
+                i += 1;
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' => i += 2,
+                        b'\'' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => break, // stray quote; bail at EOL
+                        _ => i += 1,
+                    }
+                }
+                toks.push(Tok { kind: TokKind::Char, text: &src[start..i], line });
+            } else {
+                i += 1;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                toks.push(Tok { kind: TokKind::Lifetime, text: &src[start..i], line });
+            }
+            continue;
+        }
+        // Number: digits, then an optional fraction, letting the
+        // alnum run swallow radix prefixes and suffixes. `0..9` must
+        // not eat the range dots.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && (is_ident_continue(b[i])) {
+                i += 1;
+            }
+            if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < b.len() && (is_ident_continue(b[i])) {
+                    i += 1;
+                }
+            }
+            toks.push(Tok { kind: TokKind::Num, text: &src[start..i], line });
+            continue;
+        }
+        // Everything else: one punctuation character.
+        let ch = src[i..].chars().next().unwrap_or('\u{fffd}');
+        let len = ch.len_utf8();
+        toks.push(Tok { kind: TokKind::Punct(ch), text: &src[i..i + len], line });
+        i += len;
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text.to_string())).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let t = kinds("let m: HashMap<u32, u32> = HashMap::new();");
+        let idents: Vec<&str> =
+            t.iter().filter(|(k, _)| *k == TokKind::Ident).map(|(_, s)| s.as_str()).collect();
+        assert_eq!(idents, ["let", "m", "HashMap", "u32", "u32", "HashMap", "new"]);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let t = lex("let s = \"Instant::now() HashMap\"; x");
+        assert!(t
+            .iter()
+            .all(|t| t.kind != TokKind::Ident || (t.text != "Instant" && t.text != "HashMap")));
+        assert!(t.iter().any(|t| t.kind == TokKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let t = lex("let s = r#\"a \" b HashMap\"#; y");
+        assert_eq!(t.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        assert!(t.iter().any(|t| t.kind == TokKind::Ident && t.text == "y"));
+        assert!(!t.iter().any(|t| t.kind == TokKind::Ident && t.text == "HashMap"));
+    }
+
+    #[test]
+    fn comments_are_tokens_with_text() {
+        let t = lex("x // ptlint: allow(map-order): reason\ny /* block\nspan */ z");
+        let comments: Vec<&str> =
+            t.iter().filter(|t| t.kind == TokKind::Comment).map(|t| t.text).collect();
+        assert_eq!(comments.len(), 2);
+        assert!(comments[0].contains("ptlint"));
+        assert!(comments[1].contains("span"));
+        // Line numbers survive multi-line block comments.
+        let z = t.iter().find(|t| t.text == "z").expect("z token must exist");
+        assert_eq!(z.line, 3);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let t = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(t.iter().filter(|t| t.kind == TokKind::Lifetime).count(), 2);
+        assert_eq!(t.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let t = lex("for i in 0..10 { let x = 1.5e3; }");
+        let nums: Vec<&str> = t.iter().filter(|t| t.kind == TokKind::Num).map(|t| t.text).collect();
+        assert_eq!(nums[0], "0");
+        assert_eq!(nums[1], "10");
+        assert!(nums[2].starts_with("1.5"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let t = lex("a /* outer /* inner */ still */ b");
+        let idents: Vec<&str> =
+            t.iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text).collect();
+        assert_eq!(idents, ["a", "b"]);
+    }
+}

@@ -1,0 +1,54 @@
+//! `pt-lint` CLI: lint the workspace, print rustc-style diagnostics,
+//! exit nonzero on any violation.
+//!
+//! ```sh
+//! cargo run -p pt-lint --release            # lint the current tree
+//! cargo run -p pt-lint --release -- <root>  # lint another tree
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let root = match args.next() {
+        Some(flag) if flag == "--help" || flag == "-h" => {
+            eprintln!(
+                "pt-lint: workspace determinism/purity static analysis\n\
+                 usage: pt-lint [workspace-root]\n\
+                 rules: D1 map-order, D2 wall-clock, D3 entropy, D4 bare-unwrap, \
+                 D5 unsafe-block, D6 float-format\n\
+                 waive: // ptlint: allow(<rule>): <reason>"
+            );
+            return ExitCode::SUCCESS;
+        }
+        Some(path) => PathBuf::from(path),
+        None => PathBuf::from("."),
+    };
+    if !root.join("Cargo.toml").exists() {
+        eprintln!(
+            "pt-lint: {} does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let outcome = pt_lint::lint_workspace(&root);
+    for v in &outcome.violations {
+        print!("{}", pt_lint::render(v));
+    }
+    if outcome.violations.is_empty() {
+        println!(
+            "pt-lint: clean — {} files scanned, {} waiver(s) in effect",
+            outcome.files_scanned, outcome.waivers_used
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "pt-lint: {} violation(s) across {} files scanned ({} waiver(s) in effect)",
+            outcome.violations.len(),
+            outcome.files_scanned,
+            outcome.waivers_used
+        );
+        ExitCode::FAILURE
+    }
+}

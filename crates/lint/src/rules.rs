@@ -1,0 +1,534 @@
+//! The determinism/purity rules D1–D6.
+//!
+//! Every result this reproduction claims rests on one invariant: no
+//! nondeterminism may reach a digest. These rules make the repo's
+//! conventions machine-checked:
+//!
+//! - **D1 `map-order`** — no default-`RandomState` `HashMap`/`HashSet`
+//!   in engine code. `RandomState` seeds itself from OS entropy, so
+//!   iteration order varies run to run; anything it feeds must use the
+//!   deterministic `AddrHasher`, a BTree collection, or prove sorted
+//!   iteration in a waiver.
+//! - **D2 `wall-clock`** — no `Instant::now`/`SystemTime` outside
+//!   `crates/bench`. Simulation time is virtual; wall-clock reads make
+//!   results machine-dependent.
+//! - **D3 `entropy`** — no ambient randomness (`thread_rng`, `OsRng`,
+//!   `from_entropy`, ...). All draws derive from the seeded
+//!   `support/rand` chain.
+//! - **D4 `bare-unwrap`** — no bare `unwrap()` / `expect("")` in
+//!   engine (non-test) code: the campaign quarantine reports panic
+//!   payloads, so panics must name the node/unit/invariant involved.
+//! - **D5 `unsafe-block`** — `unsafe` requires a `// SAFETY:` comment
+//!   within the three preceding lines (or on the same line).
+//! - **D6 `float-format`** — inside snapshot-writer code, floats must
+//!   reach the text through the bit-pattern helpers (`to_bits` +
+//!   `{:016x}`), never `{}`/`{:?}`/`{:.N}` formatting. Heuristic:
+//!   float-suggesting argument names and precision format specs.
+
+use crate::lexer::{Tok, TokKind};
+use crate::scope::Regions;
+
+/// Canonical rule names, in rule order D1..D6 (waiver syntax uses
+/// these).
+pub const RULE_NAMES: [&str; 6] =
+    ["map-order", "wall-clock", "entropy", "bare-unwrap", "unsafe-block", "float-format"];
+
+/// Short codes, aligned with [`RULE_NAMES`].
+pub const RULE_CODES: [&str; 6] = ["D1", "D2", "D3", "D4", "D5", "D6"];
+
+/// Which rules apply to one file (derived from its workspace path).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuleSet {
+    /// D1: default-hasher collections.
+    pub map_order: bool,
+    /// D2: wall-clock reads.
+    pub wall_clock: bool,
+    /// D3: ambient entropy.
+    pub entropy: bool,
+    /// D4: bare unwrap / empty expect.
+    pub bare_unwrap: bool,
+    /// D5: unsafe without SAFETY comment.
+    pub unsafe_block: bool,
+    /// D6: float formatting in snapshot text.
+    pub float_format: bool,
+}
+
+impl RuleSet {
+    /// All six rules armed — engine source.
+    pub fn engine() -> Self {
+        RuleSet {
+            map_order: true,
+            wall_clock: true,
+            entropy: true,
+            bare_unwrap: true,
+            unsafe_block: true,
+            float_format: true,
+        }
+    }
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name (`map-order`, ...) — `waiver` for waiver-syntax errors.
+    pub rule: &'static str,
+    /// Short code (`D1`..`D6`, `W0` for waiver errors).
+    pub code: &'static str,
+    /// Description of what fired.
+    pub msg: String,
+}
+
+/// Everything the rules need to scan one file.
+pub struct FileCtx<'s> {
+    /// Workspace-relative path (diagnostics only).
+    pub path: &'s str,
+    /// Comment-free token stream.
+    pub code: &'s [Tok<'s>],
+    /// Comment tokens (for D5's SAFETY search).
+    pub comments: &'s [Tok<'s>],
+    /// Region classification.
+    pub regions: &'s Regions,
+    /// Whether the whole file counts as snapshot-writer code (true for
+    /// `snapshot.rs` files; otherwise only `fn snapshot_write` bodies).
+    pub whole_file_snapshot: bool,
+}
+
+impl FileCtx<'_> {
+    fn is_test_line(&self, line: u32) -> bool {
+        self.regions.test_line.get(line as usize).copied().unwrap_or(false)
+    }
+
+    fn is_snapshot_line(&self, line: u32) -> bool {
+        self.whole_file_snapshot
+            || self.regions.snapshot_line.get(line as usize).copied().unwrap_or(false)
+    }
+
+    fn violation(&self, line: u32, rule_idx: usize, msg: String) -> Violation {
+        Violation {
+            path: self.path.to_string(),
+            line,
+            rule: RULE_NAMES[rule_idx],
+            code: RULE_CODES[rule_idx],
+            msg,
+        }
+    }
+}
+
+/// Run every armed rule over one file.
+pub fn check(ctx: &FileCtx<'_>, rules: RuleSet) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if rules.map_order {
+        d1_map_order(ctx, &mut out);
+    }
+    if rules.wall_clock {
+        d2_wall_clock(ctx, &mut out);
+    }
+    if rules.entropy {
+        d3_entropy(ctx, &mut out);
+    }
+    if rules.bare_unwrap {
+        d4_bare_unwrap(ctx, &mut out);
+    }
+    if rules.unsafe_block {
+        d5_unsafe_block(ctx, &mut out);
+    }
+    if rules.float_format {
+        d6_float_format(ctx, &mut out);
+    }
+    out
+}
+
+/// Count top-level generic arguments of the `<...>` group opening at
+/// `code[open]` (which must be `<`). Returns `None` when the group
+/// never closes within a sane distance (treated as not-a-generic).
+fn generic_arg_count(code: &[Tok<'_>], open: usize) -> Option<usize> {
+    let mut angle = 0usize;
+    let mut round = 0usize;
+    let mut square = 0usize;
+    let mut commas = 0usize;
+    let mut saw_any = false;
+    let mut prev_dash = false;
+    for (steps, t) in code[open..].iter().enumerate() {
+        if steps > 256 {
+            return None;
+        }
+        let was_dash = prev_dash;
+        prev_dash = t.kind == TokKind::Punct('-');
+        match t.kind {
+            TokKind::Punct('<') => angle += 1,
+            // A `>` preceded by `-` is a return arrow (`fn() -> V`
+            // inside the generics), not a closer.
+            TokKind::Punct('>') if !was_dash => {
+                angle -= 1;
+                if angle == 0 {
+                    return Some(if saw_any { commas + 1 } else { 0 });
+                }
+            }
+            TokKind::Punct('(') => round += 1,
+            TokKind::Punct(')') => round = round.saturating_sub(1),
+            TokKind::Punct('[') => square += 1,
+            TokKind::Punct(']') => square = square.saturating_sub(1),
+            TokKind::Punct(',') if angle == 1 && round == 0 && square == 0 => commas += 1,
+            TokKind::Punct(';') => return None, // statement boundary: not a generic
+            _ => saw_any = true,
+        }
+    }
+    None
+}
+
+/// D1: default-hasher `HashMap` / `HashSet`.
+fn d1_map_order(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    let code = ctx.code;
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident || (t.text != "HashMap" && t.text != "HashSet") {
+            continue;
+        }
+        if ctx.regions.in_use.get(i).copied().unwrap_or(false) || ctx.is_test_line(t.line) {
+            continue;
+        }
+        let hasher_args_needed = if t.text == "HashMap" { 3 } else { 2 };
+        let fire = |out: &mut Vec<Violation>, what: &str| {
+            out.push(ctx.violation(
+                t.line,
+                0,
+                format!(
+                    "default-hasher `{}` {what}: `RandomState` iteration order varies per \
+                     run; use `AddrHashBuilder`/`AddrMap`, a BTree collection, or prove \
+                     sorted iteration in a waiver",
+                    t.text
+                ),
+            ));
+        };
+        match code.get(i + 1).map(|n| n.kind) {
+            Some(TokKind::Punct('<')) => {
+                if let Some(args) = generic_arg_count(code, i + 1) {
+                    if args > 0 && args < hasher_args_needed {
+                        fire(out, "type without an explicit hasher parameter");
+                    }
+                }
+            }
+            Some(TokKind::Punct(':'))
+                if code.get(i + 2).map(|n| n.kind) == Some(TokKind::Punct(':')) =>
+            {
+                match code.get(i + 3) {
+                    // Turbofish: `HashMap::<K, V>::new()`.
+                    Some(n) if n.kind == TokKind::Punct('<') => {
+                        if let Some(args) = generic_arg_count(code, i + 3) {
+                            if args > 0 && args < hasher_args_needed {
+                                fire(out, "turbofish without an explicit hasher parameter");
+                            }
+                        }
+                    }
+                    // `new` / `with_capacity` / `from` exist only for
+                    // S = RandomState; `default` / `with_hasher` /
+                    // `with_capacity_and_hasher` are hasher-generic.
+                    Some(n)
+                        if n.kind == TokKind::Ident
+                            && matches!(n.text, "new" | "with_capacity" | "from") =>
+                    {
+                        fire(out, "constructor (defined only for `RandomState`)");
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// D2: wall-clock reads.
+fn d2_wall_clock(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    let code = ctx.code;
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "Instant"
+            && code.get(i + 1).is_some_and(|n| n.kind == TokKind::Punct(':'))
+            && code.get(i + 2).is_some_and(|n| n.kind == TokKind::Punct(':'))
+            && code.get(i + 3).is_some_and(|n| n.kind == TokKind::Ident && n.text == "now")
+        {
+            out.push(
+                ctx.violation(
+                    t.line,
+                    1,
+                    "`Instant::now()` reads the wall clock: engine results must be a pure \
+                 function of the seed (only `crates/bench` may time things)"
+                        .to_string(),
+                ),
+            );
+        }
+        if t.text == "SystemTime" && !ctx.regions.in_use.get(i).copied().unwrap_or(false) {
+            out.push(
+                ctx.violation(
+                    t.line,
+                    1,
+                    "`SystemTime` is wall-clock state: engine results must be a pure function \
+                 of the seed (only `crates/bench` may time things)"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+/// Identifiers that summon ambient entropy.
+const ENTROPY_IDENTS: [&str; 7] =
+    ["thread_rng", "ThreadRng", "from_entropy", "from_os_rng", "OsRng", "getrandom", "RandomState"];
+
+/// D3: ambient entropy.
+fn d3_entropy(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    for t in ctx.code {
+        if t.kind == TokKind::Ident && ENTROPY_IDENTS.contains(&t.text) {
+            out.push(ctx.violation(
+                t.line,
+                2,
+                format!(
+                    "`{}` draws ambient entropy: every random draw must derive from the \
+                     seeded `support/rand` chain so runs are reproducible",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// D4: bare `unwrap()` / `expect("")` in non-test engine code.
+fn d4_bare_unwrap(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    let code = ctx.code;
+    for (i, t) in code.iter().enumerate() {
+        if t.kind != TokKind::Ident || ctx.is_test_line(t.line) {
+            continue;
+        }
+        let preceded_by_dot = i > 0 && code[i - 1].kind == TokKind::Punct('.');
+        if !preceded_by_dot {
+            continue;
+        }
+        if t.text == "unwrap"
+            && code.get(i + 1).is_some_and(|n| n.kind == TokKind::Punct('('))
+            && code.get(i + 2).is_some_and(|n| n.kind == TokKind::Punct(')'))
+        {
+            out.push(
+                ctx.violation(
+                    t.line,
+                    3,
+                    "bare `unwrap()`: a panic here reaches the quarantine report with no \
+                 context — use `expect(\"<which invariant, which unit>\")` or handle the \
+                 `None`/`Err`"
+                        .to_string(),
+                ),
+            );
+        }
+        if t.text == "expect"
+            && code.get(i + 1).is_some_and(|n| n.kind == TokKind::Punct('('))
+            && code.get(i + 2).is_some_and(|n| {
+                n.kind == TokKind::Str && matches!(n.text, "\"\"" | "r\"\"" | "b\"\"")
+            })
+        {
+            out.push(
+                ctx.violation(
+                    t.line,
+                    3,
+                    "`expect(\"\")` carries no more context than `unwrap()`: name the \
+                 invariant that failed"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+/// D5: `unsafe` requires a `SAFETY:` comment nearby.
+fn d5_unsafe_block(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    for t in ctx.code {
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        let documented = ctx.comments.iter().any(|c| {
+            c.line + 3 >= t.line && c.line <= t.line && {
+                let lower = c.text.to_ascii_lowercase();
+                lower.contains("safety")
+            }
+        });
+        if !documented {
+            out.push(
+                ctx.violation(
+                    t.line,
+                    4,
+                    "`unsafe` without a `// SAFETY:` comment in the three preceding lines: \
+                 every unsafe block must state the invariant that makes it sound"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+/// Snake-case segments that mark an identifier as float-suggesting
+/// for D6. Matched segment-exact (`forwarding_loop_prob` fires,
+/// `probes_sent` and `strategy` do not).
+const FLOATISH: [&str; 10] =
+    ["prob", "probability", "alpha", "secs", "mean", "pct", "rate", "frac", "ratio", "float"];
+
+fn is_floatish_ident(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    lower.split('_').any(|seg| FLOATISH.contains(&seg))
+}
+
+/// Scan a format-string literal for lossy float formatting. Returns a
+/// reason when one is found.
+fn lossy_fmt_spec(fmt: &str) -> Option<String> {
+    let inner = fmt.trim_start_matches(['r', 'b', '#']).trim_matches(['"', '#']);
+    let bytes = inner.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'{' {
+            i += 1;
+            continue;
+        }
+        if bytes.get(i + 1) == Some(&b'{') {
+            i += 2; // escaped brace
+            continue;
+        }
+        let end = match inner[i..].find('}') {
+            Some(off) => i + off,
+            None => break,
+        };
+        let body = &inner[i + 1..end];
+        let (name, spec) = match body.split_once(':') {
+            Some((n, s)) => (n, s),
+            None => (body, ""),
+        };
+        if spec.contains('.') || spec.ends_with('e') || spec.ends_with('E') {
+            return Some(format!(
+                "format spec `{{{body}}}` is precision/exponent float formatting"
+            ));
+        }
+        if !name.is_empty()
+            && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+            && is_floatish_ident(name)
+            && !spec.contains('x')
+            && !spec.contains('X')
+        {
+            return Some(format!(
+                "inline capture `{{{body}}}` formats a float-suggesting value directly"
+            ));
+        }
+        i = end + 1;
+    }
+    None
+}
+
+/// D6: floats in snapshot text must go through the bit-pattern helpers.
+///
+/// Heuristic, by design: a line-level scanner cannot type-check, so it
+/// flags (a) precision/exponent format specs, and (b) write-macro
+/// arguments whose identifiers *look* like floats (`prob`, `secs`,
+/// `mean`, ...) and are not routed through `to_bits`. False positives
+/// carry a waiver escape like every other rule.
+fn d6_float_format(ctx: &FileCtx<'_>, out: &mut Vec<Violation>) {
+    let code = ctx.code;
+    let mut i = 0usize;
+    while i < code.len() {
+        let t = &code[i];
+        let is_write_macro = t.kind == TokKind::Ident
+            && matches!(t.text, "write" | "writeln" | "format")
+            && code.get(i + 1).is_some_and(|n| n.kind == TokKind::Punct('!'))
+            && code.get(i + 2).is_some_and(|n| n.kind == TokKind::Punct('('));
+        if !is_write_macro || !ctx.is_snapshot_line(t.line) || ctx.is_test_line(t.line) {
+            i += 1;
+            continue;
+        }
+        // Extent of the macro call.
+        let open = i + 2;
+        let mut depth = 0usize;
+        let mut close = open;
+        for (j, tok) in code.iter().enumerate().skip(open) {
+            match tok.kind {
+                TokKind::Punct('(') => depth += 1,
+                TokKind::Punct(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = j;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Format string: first string literal in the call.
+        let fmt_idx =
+            code[open..=close].iter().position(|t| t.kind == TokKind::Str).map(|off| open + off);
+        if let Some(fi) = fmt_idx {
+            if let Some(reason) = lossy_fmt_spec(code[fi].text) {
+                out.push(ctx.violation(
+                    code[fi].line,
+                    5,
+                    format!(
+                        "{reason}; snapshot floats must be written as `{{:016x}}` of \
+                         `f64::to_bits` so re-serialization is byte-exact"
+                    ),
+                ));
+            }
+            // Positional arguments after the format string.
+            let mut arg: Vec<usize> = Vec::new();
+            let mut depth = 0usize;
+            let flush = |arg: &mut Vec<usize>, out: &mut Vec<Violation>| {
+                let has_to_bits = arg
+                    .iter()
+                    .any(|&k| code[k].kind == TokKind::Ident && code[k].text == "to_bits");
+                if has_to_bits {
+                    arg.clear();
+                    return;
+                }
+                let floatish = arg.iter().find(|&&k| {
+                    let t = &code[k];
+                    if t.kind != TokKind::Ident {
+                        return false;
+                    }
+                    if t.text == "f64" || t.text == "f32" {
+                        // Bare `f64` idents only count as a cast target
+                        // (`x as f64` makes the argument a float).
+                        return k > 0
+                            && code[k - 1].kind == TokKind::Ident
+                            && code[k - 1].text == "as";
+                    }
+                    is_floatish_ident(t.text)
+                });
+                if let Some(&k) = floatish {
+                    out.push(ctx.violation(
+                        code[k].line,
+                        5,
+                        format!(
+                            "`{}` looks like a float written into snapshot text via `{{}}` \
+                             formatting; route it through `f64::to_bits` + `{{:016x}}` (or \
+                             waive with the reason it cannot be a float)",
+                            code[k].text
+                        ),
+                    ));
+                }
+                arg.clear();
+            };
+            for (j, tok) in code.iter().enumerate().take(close).skip(fi + 1) {
+                match tok.kind {
+                    TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => {
+                        depth += 1;
+                        arg.push(j);
+                    }
+                    TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => {
+                        depth = depth.saturating_sub(1);
+                        arg.push(j);
+                    }
+                    TokKind::Punct(',') if depth == 0 => flush(&mut arg, out),
+                    _ => arg.push(j),
+                }
+            }
+            flush(&mut arg, out);
+        }
+        i = close + 1;
+    }
+}

@@ -1,0 +1,250 @@
+//! Source regions the rules treat specially: `#[cfg(test)]` /
+//! `#[test]` item extents (exempt from the engine-code rules), `use`
+//! declarations (importing a type is not instantiating it), and
+//! snapshot-writer function bodies (where the float-format rule D6
+//! applies).
+
+use crate::lexer::{Tok, TokKind};
+
+/// Per-file region classification, indexed by line (1-based; index 0
+/// unused) or by code-token position.
+pub struct Regions {
+    /// Lines covered by a test-gated item (`#[cfg(test)]` mod/fn/impl
+    /// or a `#[test]` function), attribute lines included.
+    pub test_line: Vec<bool>,
+    /// Lines inside a `fn snapshot_write`-family body — digest/snapshot
+    /// text is produced here, so D6's float-format rule arms.
+    pub snapshot_line: Vec<bool>,
+    /// Code-token indices that sit inside a `use ... ;` declaration.
+    pub in_use: Vec<bool>,
+}
+
+/// True when the attribute token run (the idents between `#[` and the
+/// matching `]`) gates the item to test builds.
+fn is_test_attr(idents: &[&str]) -> bool {
+    match idents.first() {
+        Some(&"test") => true,
+        Some(&"cfg") => idents.contains(&"test"),
+        _ => false,
+    }
+}
+
+/// Find the index of the token that closes the item starting at
+/// `start`: either a top-level `;` before any brace, or the `}`
+/// matching the first `{`. Returns the last token index of the item.
+fn item_extent(code: &[Tok<'_>], start: usize) -> usize {
+    let mut depth = 0usize;
+    let mut saw_brace = false;
+    let mut i = start;
+    while i < code.len() {
+        match code[i].kind {
+            TokKind::Punct('{') => {
+                depth += 1;
+                saw_brace = true;
+            }
+            TokKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if saw_brace && depth == 0 {
+                    return i;
+                }
+            }
+            TokKind::Punct(';') if !saw_brace && depth == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    code.len().saturating_sub(1)
+}
+
+/// Classify every line and code token of one file.
+///
+/// `code` must be the comment-free token stream; `last_line` the file's
+/// final line number.
+pub fn analyze(code: &[Tok<'_>], last_line: u32) -> Regions {
+    let n = last_line as usize + 2;
+    let mut regions = Regions {
+        test_line: vec![false; n],
+        snapshot_line: vec![false; n],
+        in_use: vec![false; code.len()],
+    };
+
+    // `use ...;` spans (token-indexed).
+    let mut i = 0usize;
+    while i < code.len() {
+        if code[i].kind == TokKind::Ident && code[i].text == "use" {
+            // `use` only opens an import at item position; a preceding
+            // `.` (method chains) or `::` cannot occur with the
+            // keyword, so no further disambiguation is needed.
+            let mut j = i;
+            while j < code.len() && code[j].kind != TokKind::Punct(';') {
+                regions.in_use[j] = true;
+                j += 1;
+            }
+            if j < code.len() {
+                regions.in_use[j] = true;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+
+    // Attribute-gated test items.
+    let mut i = 0usize;
+    while i < code.len() {
+        let is_hash = code[i].kind == TokKind::Punct('#');
+        if !is_hash {
+            i += 1;
+            continue;
+        }
+        // `#[...]` or `#![...]` — collect idents to the matching `]`.
+        let mut j = i + 1;
+        if j < code.len() && code[j].kind == TokKind::Punct('!') {
+            j += 1; // inner attribute; never gates an item, but skip it
+        }
+        if j >= code.len() || code[j].kind != TokKind::Punct('[') {
+            i += 1;
+            continue;
+        }
+        let attr_start_line = code[i].line;
+        let mut depth = 0usize;
+        let mut idents: Vec<&str> = Vec::new();
+        while j < code.len() {
+            match code[j].kind {
+                TokKind::Punct('[') => depth += 1,
+                TokKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokKind::Ident => idents.push(code[j].text),
+                _ => {}
+            }
+            j += 1;
+        }
+        if !is_test_attr(&idents) {
+            i = j + 1;
+            continue;
+        }
+        // Skip any further attributes between this one and the item.
+        let mut k = j + 1;
+        while k + 1 < code.len()
+            && code[k].kind == TokKind::Punct('#')
+            && code[k + 1].kind == TokKind::Punct('[')
+        {
+            let mut depth = 0usize;
+            let mut m = k + 1;
+            while m < code.len() {
+                match code[m].kind {
+                    TokKind::Punct('[') => depth += 1,
+                    TokKind::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                m += 1;
+            }
+            k = m + 1;
+        }
+        let end = item_extent(code, k);
+        let end_line = code.get(end).map_or(last_line, |t| t.line);
+        for line in attr_start_line..=end_line {
+            if let Some(slot) = regions.test_line.get_mut(line as usize) {
+                *slot = true;
+            }
+        }
+        i = end + 1;
+    }
+
+    // Snapshot-writer bodies: `fn <name>` where the name belongs to
+    // the canonical text-serialization family.
+    let mut i = 0usize;
+    while i + 1 < code.len() {
+        if code[i].kind == TokKind::Ident
+            && code[i].text == "fn"
+            && code[i + 1].kind == TokKind::Ident
+            && code[i + 1].text.contains("snapshot_write")
+        {
+            let end = item_extent(code, i);
+            let end_line = code.get(end).map_or(last_line, |t| t.line);
+            for line in code[i].line..=end_line {
+                if let Some(slot) = regions.snapshot_line.get_mut(line as usize) {
+                    *slot = true;
+                }
+            }
+            i = end + 1;
+            continue;
+        }
+        i += 1;
+    }
+
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn regions(src: &str) -> Regions {
+        let toks = lex(src);
+        let code: Vec<_> = toks.iter().filter(|t| t.kind != TokKind::Comment).copied().collect();
+        let last = src.lines().count() as u32;
+        analyze(&code, last)
+    }
+
+    #[test]
+    fn cfg_test_mod_extent_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn inner() {}\n}\nfn after() {}\n";
+        let r = regions(src);
+        assert!(!r.test_line[1]);
+        assert!(r.test_line[2] && r.test_line[3] && r.test_line[4] && r.test_line[5]);
+        assert!(!r.test_line[6]);
+    }
+
+    #[test]
+    fn test_fn_extent_is_marked() {
+        let src = "#[test]\nfn t() {\n    body();\n}\nfn live() {}\n";
+        let r = regions(src);
+        assert!(r.test_line[1] && r.test_line[2] && r.test_line[3] && r.test_line[4]);
+        assert!(!r.test_line[5]);
+    }
+
+    #[test]
+    fn non_test_attrs_do_not_mark() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn live() {}\n";
+        let r = regions(src);
+        assert!(!r.test_line[2]);
+        assert!(!r.test_line[3]);
+    }
+
+    #[test]
+    fn use_spans_cover_import_tokens() {
+        let src = "use std::collections::HashMap;\nfn f() { let m = HashMap::new(); }\n";
+        let toks = lex(src);
+        let code: Vec<_> = toks.iter().filter(|t| t.kind != TokKind::Comment).copied().collect();
+        let r = analyze(&code, 2);
+        let first_map = code
+            .iter()
+            .position(|t| t.text == "HashMap")
+            .expect("HashMap token must exist in the import");
+        let second_map = code
+            .iter()
+            .rposition(|t| t.text == "HashMap")
+            .expect("HashMap token must exist in the body");
+        assert!(r.in_use[first_map]);
+        assert!(!r.in_use[second_map]);
+    }
+
+    #[test]
+    fn snapshot_write_bodies_are_marked() {
+        let src = "fn snapshot_write(&self) {\n    emit();\n}\nfn other() {\n    emit();\n}\n";
+        let r = regions(src);
+        assert!(r.snapshot_line[1] && r.snapshot_line[2] && r.snapshot_line[3]);
+        assert!(!r.snapshot_line[4] && !r.snapshot_line[5]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Scoped inline waivers: `// ptlint: allow(<rule>): <reason>`.
+//!
+//! A waiver suppresses one rule on one line — the line it trails, or
+//! (for a comment standing alone on its own line) the next line that
+//! carries code. The reason is mandatory: a waiver that cannot say
+//! *why* the invariant holds anyway is exactly the silent exemption
+//! this tool exists to forbid, so an empty reason is itself a
+//! violation and suppresses nothing.
+
+use crate::lexer::{Tok, TokKind};
+use crate::rules::RULE_NAMES;
+
+/// One parsed waiver.
+#[derive(Debug, Clone)]
+pub struct Waiver {
+    /// The rule name being waived (e.g. `map-order`).
+    pub rule: String,
+    /// The line the waiver applies to.
+    pub target_line: u32,
+    /// The line the waiver comment sits on (diagnostics).
+    pub comment_line: u32,
+    /// The justification text.
+    pub reason: String,
+}
+
+/// Waiver-syntax problems (reported as violations in their own right).
+#[derive(Debug, Clone)]
+pub struct WaiverError {
+    /// Line of the malformed waiver comment.
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+/// Scan `comments` for waivers. `code_lines` must hold, in ascending
+/// order, every line that carries at least one code token — used to
+/// resolve a standalone waiver comment to the line it covers.
+pub fn collect(comments: &[Tok<'_>], code_lines: &[u32]) -> (Vec<Waiver>, Vec<WaiverError>) {
+    let mut waivers = Vec::new();
+    let mut errors = Vec::new();
+    for c in comments {
+        debug_assert_eq!(c.kind, TokKind::Comment);
+        // The directive must open the comment (`// ptlint: ...`), so
+        // prose that merely *mentions* the syntax is not a waiver.
+        let opened = c.text.trim_start_matches(['/', '*', '!']).trim_start();
+        let Some(body) = opened.strip_prefix("ptlint:") else { continue };
+        let body = body.trim();
+        let Some(rest) = body.strip_prefix("allow") else {
+            errors.push(WaiverError {
+                line: c.line,
+                msg: format!("unrecognized ptlint directive: `{body}`"),
+            });
+            continue;
+        };
+        let rest = rest.trim_start();
+        let (rule, after) = match rest.strip_prefix('(').and_then(|r| r.split_once(')')) {
+            Some((rule, after)) => (rule.trim().to_string(), after),
+            None => {
+                errors.push(WaiverError {
+                    line: c.line,
+                    msg: "malformed waiver: expected `ptlint: allow(<rule>): <reason>`".to_string(),
+                });
+                continue;
+            }
+        };
+        if !RULE_NAMES.contains(&rule.as_str()) {
+            errors.push(WaiverError {
+                line: c.line,
+                msg: format!(
+                    "waiver names unknown rule `{rule}` (known: {})",
+                    RULE_NAMES.join(", ")
+                ),
+            });
+            continue;
+        }
+        let reason = after.trim_start().strip_prefix(':').unwrap_or("").trim();
+        if reason.is_empty() {
+            errors.push(WaiverError {
+                line: c.line,
+                msg: format!(
+                    "waiver for `{rule}` has no reason — every waiver must explain why \
+                     the invariant still holds"
+                ),
+            });
+            continue;
+        }
+        // Trailing comment covers its own line; a standalone comment
+        // covers the next code-bearing line.
+        let target_line = if code_lines.binary_search(&c.line).is_ok() {
+            c.line
+        } else {
+            match code_lines.iter().find(|&&l| l > c.line) {
+                Some(&l) => l,
+                None => c.line,
+            }
+        };
+        waivers.push(Waiver {
+            rule,
+            target_line,
+            comment_line: c.line,
+            reason: reason.to_string(),
+        });
+    }
+    (waivers, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> (Vec<Waiver>, Vec<WaiverError>) {
+        let toks = lex(src);
+        let comments: Vec<_> =
+            toks.iter().filter(|t| t.kind == TokKind::Comment).copied().collect();
+        let mut code_lines: Vec<u32> =
+            toks.iter().filter(|t| t.kind != TokKind::Comment).map(|t| t.line).collect();
+        code_lines.dedup();
+        collect(&comments, &code_lines)
+    }
+
+    #[test]
+    fn trailing_waiver_covers_its_own_line() {
+        let (w, e) = run("let x = f(); // ptlint: allow(map-order): sorted before digest\n");
+        assert!(e.is_empty());
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].rule, "map-order");
+        assert_eq!(w[0].target_line, 1);
+    }
+
+    #[test]
+    fn standalone_waiver_covers_next_code_line() {
+        let (w, e) = run("// ptlint: allow(wall-clock): display only\n\nlet t = now();\n");
+        assert!(e.is_empty());
+        assert_eq!(w[0].target_line, 3);
+    }
+
+    #[test]
+    fn empty_reason_is_an_error_and_no_waiver() {
+        let (w, e) = run("x(); // ptlint: allow(map-order):\n");
+        assert!(w.is_empty());
+        assert_eq!(e.len(), 1);
+        assert!(e[0].msg.contains("no reason"));
+        let (w2, e2) = run("x(); // ptlint: allow(map-order)\n");
+        assert!(w2.is_empty());
+        assert_eq!(e2.len(), 1);
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let (w, e) = run("x(); // ptlint: allow(no-such-rule): because\n");
+        assert!(w.is_empty());
+        assert_eq!(e.len(), 1);
+        assert!(e[0].msg.contains("unknown rule"));
+    }
+}

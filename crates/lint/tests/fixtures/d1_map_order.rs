@@ -1,0 +1,22 @@
+// Known-bad fixture for D1/map-order. Expected D1 lines: 7, 10, 11, 13, 18.
+// (Line 13 also fires D3: naming `RandomState` at all is ambient entropy.)
+use std::collections::{HashMap, HashSet};
+
+pub struct State {
+    // Type annotation without a hasher parameter.
+    pub by_addr: HashMap<u32, u64>,
+}
+
+pub fn build() -> HashSet<u32> {
+    let mut s = HashSet::new();
+    s.insert(1);
+    let _m: HashMap<u32, u64, std::hash::RandomState> = HashMap::with_capacity(4);
+    s
+}
+
+pub fn turbofish() -> usize {
+    HashMap::<u32, u64>::default().len()
+}
+
+// Explicit hasher parameters are fine (line below must NOT fire).
+pub type Keyed<V> = HashMap<u32, V, std::hash::BuildHasherDefault<std::hash::DefaultHasher>>;

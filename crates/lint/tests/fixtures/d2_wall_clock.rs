@@ -1,0 +1,13 @@
+// Known-bad fixture for D2/wall-clock. Expected D2 lines: 7, 11, 12.
+use std::time::Instant;
+
+pub fn trace_one() -> u64 {
+    // Timing the engine from inside the engine makes results
+    // machine-dependent.
+    let started = Instant::now();
+    started.elapsed().as_nanos() as u64
+}
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,11 @@
+// Known-bad fixture for D3/entropy. Expected D3 lines: 4, 9.
+pub fn jitter() -> u64 {
+    // Ambient entropy: two runs of the same seed now differ.
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+pub fn reseed() -> u64 {
+    let rng = SmallRng::from_entropy();
+    rng.next_u64()
+}

@@ -1,0 +1,24 @@
+// Known-bad fixture for D4/bare-unwrap. Expected D4 lines: 4, 9.
+// Test code at the bottom is exempt.
+pub fn next_hop(route: Option<u32>) -> u32 {
+    route.unwrap()
+}
+
+pub fn parse(text: &str) -> u32 {
+    // An empty expect message is no better than unwrap.
+    text.parse().expect("")
+}
+
+pub fn named(route: Option<u32>) -> u32 {
+    // A named panic is what the rule demands (must NOT fire).
+    route.expect("destination must have a next hop after route install")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

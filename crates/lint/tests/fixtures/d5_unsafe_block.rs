@@ -1,0 +1,12 @@
+// Known-bad fixture for D5/unsafe-block. Expected D5 line: 4.
+pub fn read_first(bytes: &[u8]) -> u8 {
+    debug_assert!(!bytes.is_empty());
+    unsafe { *bytes.get_unchecked(0) }
+}
+
+pub fn read_first_documented(bytes: &[u8]) -> u8 {
+    debug_assert!(!bytes.is_empty());
+    // SAFETY: the debug_assert above plus every caller's bounds check
+    // guarantee the slice is non-empty (must NOT fire).
+    unsafe { *bytes.get_unchecked(0) }
+}

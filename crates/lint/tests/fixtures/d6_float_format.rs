@@ -1,0 +1,20 @@
+// Known-bad fixture for D6/float-format. Expected D6 lines: 6, 8, 11.
+// The function name marks this as snapshot-writer code.
+pub fn snapshot_write(out: &mut String, loss_rate: f64, count: u64) {
+    use std::fmt::Write;
+    // Floats straight into snapshot text: lossy, not byte-canonical.
+    let _ = writeln!(out, "rate {}", loss_rate);
+    // Precision formatting is float formatting even when the name hides it.
+    let _ = writeln!(out, "count {:.2}", count);
+    // Casting to f64 inside the write is the same mistake.
+    let ratio = count;
+    let _ = writeln!(out, "share {}", ratio as f64);
+    // The bit-pattern helper path is the sanctioned one (must NOT fire).
+    let _ = writeln!(out, "rate {:016x}", loss_rate.to_bits());
+}
+
+pub fn render(out: &mut String, loss_rate: f64) {
+    use std::fmt::Write;
+    // Outside snapshot-writer code, display formatting is fine.
+    let _ = writeln!(out, "rate {loss_rate}");
+}

@@ -1,0 +1,20 @@
+// Waiver fixtures: suppression works, but only with a written reason.
+use std::collections::HashMap;
+
+pub struct Waived {
+    // ptlint: allow(map-order): keys are sorted into a Vec before any digest sees them
+    pub standalone: HashMap<u32, u64>,
+    pub trailing: HashMap<u32, u64>, // ptlint: allow(map-order): iterated only for len()
+}
+
+pub struct NotWaived {
+    // An empty reason must not suppress (expect D1 *and* W0 here).
+    // ptlint: allow(map-order):
+    pub empty_reason: HashMap<u32, u64>,
+    // An unknown rule name must not suppress (expect D1 and W0).
+    // ptlint: allow(no-such-rule): reason text
+    pub unknown_rule: HashMap<u32, u64>,
+    // A waiver for a different rule must not suppress this D1.
+    // ptlint: allow(wall-clock): wrong rule entirely
+    pub wrong_rule: HashMap<u32, u64>,
+}

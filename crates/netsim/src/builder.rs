@@ -218,7 +218,7 @@ impl TopologyBuilder {
     /// table is frozen into a shared `Arc` that every simulator over this
     /// topology borrows instead of copying.
     pub fn build(mut self) -> Topology {
-        let mut addr_owner = std::collections::HashMap::new();
+        let mut addr_owner = crate::routing::AddrMap::default();
         for (i, node) in self.nodes.iter().enumerate() {
             for iface in &node.ifaces {
                 let prev = addr_owner.insert(iface.addr, NodeId(i));

@@ -5,7 +5,7 @@
 //! five healthy routers, and returns handles for asserting which
 //! interface answered at which hop.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
@@ -28,7 +28,7 @@ pub struct Scenario {
     pub destination: Ipv4Addr,
     /// Address of each named router's *S-facing* interface — the address
     /// traceroute discovers for it.
-    pub addr: HashMap<&'static str, Ipv4Addr>,
+    pub addr: BTreeMap<&'static str, Ipv4Addr>,
 }
 
 impl Scenario {
@@ -83,7 +83,7 @@ fn finish(
 ) -> Scenario {
     // The S-facing interface of every router in these scenarios is its
     // first interface (links are created parent-first).
-    let addr: HashMap<&'static str, Ipv4Addr> =
+    let addr: BTreeMap<&'static str, Ipv4Addr> =
         named.iter().map(|(name, id)| (*name, b.iface_addr(*id, 0))).collect();
     Scenario { topology: Arc::new(b.build()), source, destination, addr }
 }
@@ -352,7 +352,7 @@ pub fn linear(n_routers: usize) -> Scenario {
     let mut sc = finish(s.b, s.source, destination, &named);
     // Record chain router addresses under synthetic handles is not
     // possible with &'static str names; callers use the topology instead.
-    sc.addr = HashMap::new();
+    sc.addr = BTreeMap::new();
     sc
 }
 

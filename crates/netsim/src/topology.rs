@@ -7,12 +7,11 @@
 //! simulators can share one topology across threads and spin up without
 //! copying any routing table.
 
-use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
 use crate::node::NodeKind;
-use crate::routing::RoutingTable;
+use crate::routing::{AddrMap, RoutingTable};
 use crate::time::SimDuration;
 
 /// Identifies a node within a topology.
@@ -112,8 +111,10 @@ pub struct Topology {
     pub nodes: Vec<Node>,
     /// All links; `LinkId` indexes this vector.
     pub links: Vec<Link>,
-    /// Address → owning node, for local-delivery checks.
-    pub addr_owner: HashMap<Ipv4Addr, NodeId>,
+    /// Address → owning node, for local-delivery checks. Keyed with the
+    /// deterministic [`AddrMap`] hasher so iteration never depends on
+    /// `RandomState`.
+    pub addr_owner: AddrMap<NodeId>,
 }
 
 impl Topology {

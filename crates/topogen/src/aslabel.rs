@@ -7,7 +7,7 @@
 //! network is the source AS, each core router is one tier-1 AS, and each
 //! destination branch is a stub AS homed on its owner core.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 use pt_netsim::addr::Ipv4Prefix;
@@ -31,7 +31,7 @@ pub enum AsTier {
 #[derive(Debug, Clone, Default)]
 pub struct AsMap {
     entries: Vec<(Ipv4Prefix, Asn)>,
-    tiers: HashMap<Asn, AsTier>,
+    tiers: BTreeMap<Asn, AsTier>,
 }
 
 impl AsMap {
@@ -91,7 +91,7 @@ pub struct AsCoverage {
 
 /// Compute §3 coverage from observed response source addresses.
 pub fn coverage<'a>(map: &AsMap, addrs: impl IntoIterator<Item = &'a Ipv4Addr>) -> AsCoverage {
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     let mut unmapped = 0usize;
     for addr in addrs {
         match map.lookup(*addr) {

@@ -9,6 +9,8 @@
 //! cargo run --release --example anomaly_survey -- 2000 40 # dests rounds
 //! ```
 
+// Display-only wall-clock progress timers (ptlint-waived inline).
+#![allow(clippy::disallowed_methods)]
 use pt_campaign::{
     render_multipath_report, render_report, run, run_multipath, validate_causes,
     validate_multipath, CampaignConfig, MultipathConfig,
@@ -35,6 +37,7 @@ fn main() {
     );
 
     println!("running {rounds} rounds × {n_destinations} destinations × 2 tools (32 workers)...");
+    // ptlint: allow(wall-clock): progress display only; never feeds a digest
     let started = std::time::Instant::now();
     let config = CampaignConfig { rounds, workers: 32, keep_routes: true, ..Default::default() };
     let result = run(&net, &config);
@@ -52,6 +55,7 @@ fn main() {
     // The §6 future work at the same scale: multipath discovery toward
     // every destination, printed next to the anomaly stats above.
     println!("\nrunning multipath discovery over the same {n_destinations} destinations...");
+    // ptlint: allow(wall-clock): progress display only; never feeds a digest
     let started = std::time::Instant::now();
     let mp = run_multipath(&net, &MultipathConfig { workers: 32, ..Default::default() });
     println!("  done in {:.1}s wall clock\n", started.elapsed().as_secs_f64());

@@ -1,0 +1,19 @@
+//! Print a canonical digest of a small fixed-seed multipath campaign.
+//!
+//! The multipath-mode counterpart of `campaign_digest`: run it before
+//! and after a refactor and diff the output to check that MDA campaign
+//! results stayed bit-identical.
+//!
+//! ```sh
+//! cargo run --release --example multipath_digest
+//! ```
+
+use paris_traceroute_repro::campaign::{multipath_digest, run_multipath, MultipathConfig};
+use paris_traceroute_repro::topogen::{generate, InternetConfig};
+
+fn main() {
+    let net = generate(&InternetConfig::tiny(42));
+    let config = MultipathConfig { rounds: 2, workers: 4, seed: 99, ..Default::default() };
+    let result = run_multipath(&net, &config);
+    println!("{}", multipath_digest(&result));
+}

@@ -13,6 +13,8 @@
 //! runs; a positional argument filters benchmarks by substring, like the
 //! real harness.
 
+// Vendored bench harness: timing via Instant is the point.
+#![allow(clippy::disallowed_methods)]
 #![warn(missing_docs)]
 
 use std::time::{Duration, Instant};

@@ -34,21 +34,27 @@ struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: every method forwards to `System`, which upholds the
+// `GlobalAlloc` contract; the atomic counter never touches the memory.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: caller's layout obligations pass straight to `System`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: `ptr` was produced by `System` via the methods above.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
 
+    // SAFETY: same forwarding; `System` validates the layout pair.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 
+    // SAFETY: direct delegation to `System::alloc_zeroed`.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc_zeroed(layout)
