@@ -39,7 +39,7 @@ pub mod tracer;
 pub use adaptive::{trace_adaptive, AdaptiveTraceConfig};
 pub use classic::{ClassicIcmp, ClassicUdp};
 pub use paris::{ParisIcmp, ParisTcp, ParisUdp};
-pub use probe::{prefix_u16, prefix_u32, quotation_for, ProbeStrategy, StrategyId};
+pub use probe::{prefix_u16, prefix_u32, quotation_for, ProbeSpec, ProbeStrategy, StrategyId};
 pub use render::{render, RenderOptions};
 pub use route::{HaltReason, Hop, MeasuredRoute, ProbeResult, ResponseKind};
 pub use tcptrace::TcpTraceroute;

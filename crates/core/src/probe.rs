@@ -71,6 +71,16 @@ impl core::fmt::Display for StrategyId {
     }
 }
 
+/// One entry of a probe batch: the TTL to probe at and the strategy's
+/// monotone probe index, in launch order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeSpec {
+    /// IP TTL for this probe.
+    pub ttl: u8,
+    /// The strategy's per-trace probe index (encodes the identifier).
+    pub probe_idx: u64,
+}
+
 /// A probing strategy: stateless header arithmetic keyed by probe index.
 pub trait ProbeStrategy {
     /// Which tool this is.
@@ -96,6 +106,34 @@ pub trait ProbeStrategy {
     /// convenience form for tests and one-off probes.
     fn build_probe(&mut self, src: Ipv4Addr, dst: Ipv4Addr, ttl: u8, probe_idx: u64) -> Packet {
         self.build_probe_with(src, dst, ttl, probe_idx, Vec::new())
+    }
+
+    /// Build one TTL window's probes in a single pass, appending the
+    /// packets to `out` in `specs` order. `payloads` yields one cleared
+    /// (possibly warm) buffer per probe — the windowed tracer threads
+    /// `Transport::grab_payload` through it so batch construction stays
+    /// allocation-free.
+    ///
+    /// The default implementation loops [`ProbeStrategy::build_probe_with`].
+    /// Strategies whose per-probe header arithmetic shares an invariant
+    /// part — Paris UDP's pinned-checksum pseudo-header sum, which does
+    /// not depend on the TTL — override this to compute the invariant
+    /// once per batch. Every override must produce packets byte-identical
+    /// to the default loop (pinned by the batched-vs-sequential equality
+    /// tests), which is what lets the driver switch freely between paths
+    /// without perturbing campaign digests.
+    fn build_probe_batch(
+        &mut self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        specs: &[ProbeSpec],
+        payloads: &mut dyn FnMut() -> Vec<u8>,
+        out: &mut Vec<Packet>,
+    ) {
+        for spec in specs {
+            let payload = payloads();
+            out.push(self.build_probe_with(src, dst, spec.ttl, spec.probe_idx, payload));
+        }
     }
 
     /// If `response` answers one of our probes, return that probe's
@@ -167,5 +205,41 @@ mod tests {
         assert_eq!(prefix_u16(&prefix, 0), 0x1234);
         assert_eq!(prefix_u16(&prefix, 6), 0xdef0);
         assert_eq!(prefix_u32(&prefix, 4), 0x9abc_def0);
+    }
+
+    #[test]
+    fn batched_construction_matches_sequential_for_every_strategy() {
+        // `build_probe_batch` — default loop or strategy override — must
+        // produce packets byte-identical to one-at-a-time construction:
+        // the windowed tracer switches to the batch path on the strength
+        // of this equality, and any divergence would silently change
+        // campaign digests.
+        use crate::{ClassicIcmp, ClassicUdp, ParisIcmp, ParisTcp, ParisUdp, TcpTraceroute};
+        let src = Ipv4Addr::new(10, 0, 1, 1);
+        let dst = Ipv4Addr::new(192, 0, 2, 9);
+        let specs: Vec<ProbeSpec> =
+            (0u64..9).map(|i| ProbeSpec { ttl: 1 + (i as u8 % 5), probe_idx: i * 7 + 3 }).collect();
+        let strategies: Vec<Box<dyn ProbeStrategy>> = vec![
+            Box::new(ClassicUdp::new(1234)),
+            Box::new(ClassicIcmp::new(77)),
+            Box::new(ParisUdp::new(41000, 52000)),
+            Box::new(ParisIcmp::new(0xb00b)),
+            Box::new(ParisTcp::new(55555)),
+            Box::new(TcpTraceroute::new(40123)),
+        ];
+        for mut strategy in strategies {
+            let id = strategy.id();
+            let sequential: Vec<Packet> = specs
+                .iter()
+                .map(|s| strategy.build_probe_with(src, dst, s.ttl, s.probe_idx, Vec::new()))
+                .collect();
+            let mut batched = Vec::new();
+            strategy.build_probe_batch(src, dst, &specs, &mut Vec::new, &mut batched);
+            assert_eq!(batched.len(), sequential.len(), "{id}: batch size");
+            for (i, (b, s)) in batched.iter().zip(sequential.iter()).enumerate() {
+                assert_eq!(b, s, "{id}: probe {i} diverged");
+                assert_eq!(b.emit(), s.emit(), "{id}: probe {i} wire bytes diverged");
+            }
+        }
     }
 }

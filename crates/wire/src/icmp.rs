@@ -15,7 +15,7 @@
 //!   checksum along; Paris varies Identifier and Sequence Number jointly so
 //!   the checksum stays constant ([`IcmpMessage::echo_probe_paris`]).
 
-use crate::checksum::{internet_checksum, ones_sub};
+use crate::checksum::{internet_checksum, ones_sub, Checksum};
 use crate::ipv4::Ipv4Header;
 use crate::ParseError;
 
@@ -275,12 +275,40 @@ impl IcmpMessage {
     }
 
     /// The first four octets of the emitted message (type, code, checksum)
-    /// — the region per-flow load balancers hash. Computing it requires a
-    /// full emit because the checksum depends on the whole message.
+    /// — the region per-flow load balancers hash. The checksum depends on
+    /// the whole message, but it is summed here incrementally (echo fields
+    /// directly, quotations via a stack buffer) instead of emitting into a
+    /// heap buffer: flow-key hashing calls this for every ICMP packet a
+    /// per-flow balancer forwards, so it must stay allocation-free.
     pub fn first_four_octets(&self) -> [u8; 4] {
-        let mut buf = vec![0u8; self.len()];
-        self.emit(&mut buf);
-        [buf[0], buf[1], buf[2], buf[3]]
+        let ty = self.icmp_type().code();
+        let code = match self {
+            IcmpMessage::DestUnreachable { code, .. } => code.wire(),
+            _ => 0,
+        };
+        // Sum the message exactly as `emit` lays it out, with the checksum
+        // field itself zero — word 0 is (type, code), word 1 the checksum.
+        let mut c = Checksum::new();
+        c.add_word(u16::from_be_bytes([ty, code]));
+        match self {
+            IcmpMessage::EchoRequest { identifier, seq, payload }
+            | IcmpMessage::EchoReply { identifier, seq, payload } => {
+                c.add_word(*identifier);
+                c.add_word(*seq);
+                c.add_bytes(payload);
+            }
+            IcmpMessage::TimeExceeded { quotation }
+            | IcmpMessage::DestUnreachable { quotation, .. } => {
+                // Octets 4..8 are emitted as zero (unused) and contribute
+                // nothing to the sum; the quotation emits into a fixed-size
+                // stack buffer.
+                let mut quoted = [0u8; Quotation::LEN];
+                quotation.emit(&mut quoted);
+                c.add_bytes(&quoted);
+            }
+        }
+        let ck = c.finish().to_be_bytes();
+        [ty, code, ck[0], ck[1]]
     }
 }
 
@@ -368,6 +396,29 @@ mod tests {
                 IcmpMessage::EchoRequest { seq: s, .. } => assert_eq!(s, seq),
                 _ => unreachable!(),
             }
+        }
+    }
+
+    #[test]
+    fn first_four_octets_matches_emitted_bytes() {
+        // The incremental (allocation-free) computation must agree with an
+        // actual emit for every message shape.
+        let messages = [
+            IcmpMessage::echo_probe_classic(0x1234, 7),
+            IcmpMessage::echo_probe_paris(0xbeef, 41),
+            IcmpMessage::EchoReply { identifier: 3, seq: 9, payload: vec![1, 2, 3, 4, 5] },
+            IcmpMessage::TimeExceeded {
+                quotation: Quotation::from_probe(quoted_ip(1), &[9, 8, 7, 6, 5, 4, 3, 2]),
+            },
+            IcmpMessage::DestUnreachable {
+                code: UnreachableCode::Port,
+                quotation: Quotation::from_probe(quoted_ip(64), &[0xaa; 8]),
+            },
+        ];
+        for msg in messages {
+            let mut buf = vec![0u8; msg.len()];
+            msg.emit(&mut buf);
+            assert_eq!(msg.first_four_octets(), [buf[0], buf[1], buf[2], buf[3]], "{msg:?}");
         }
     }
 

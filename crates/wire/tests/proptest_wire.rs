@@ -8,7 +8,7 @@ use pt_wire::ipv4::{protocol, Ipv4Header};
 use pt_wire::packet::{Packet, Transport};
 use pt_wire::tcp::TcpSegment;
 use pt_wire::udp::UdpDatagram;
-use pt_wire::{internet_checksum, FlowPolicy};
+use pt_wire::{internet_checksum, Checksum, FlowPolicy};
 use std::net::Ipv4Addr;
 
 fn arb_addr() -> impl Strategy<Value = Ipv4Addr> {
@@ -156,5 +156,41 @@ proptest! {
     #[test]
     fn parse_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
         let _ = Packet::parse(&bytes);
+    }
+
+    #[test]
+    fn wide_checksum_folding_matches_scalar_reference(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        start in any::<u16>(),
+    ) {
+        // The deferred-carry wide path must be bit-identical to the
+        // word-at-a-time RFC 1071 reference over arbitrary buffers —
+        // every length 0..512 (odd lengths included via the generator)
+        // and any accumulator starting state.
+        let mut wide = Checksum::new();
+        wide.add_word(start);
+        let mut scalar = wide;
+        wide.add_bytes(&bytes);
+        scalar.add_bytes_scalar(&bytes);
+        prop_assert_eq!(wide.raw(), scalar.raw());
+        prop_assert_eq!(wide.finish(), scalar.finish());
+    }
+
+    #[test]
+    fn wide_checksum_split_invariance(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+        split in any::<u16>(),
+    ) {
+        // Summing a buffer in one call equals summing an even-length
+        // prefix then the rest — the property batched header construction
+        // relies on when it staples precomputed partial sums together.
+        let mut at = usize::from(split) % (bytes.len() + 1);
+        at &= !1; // word-aligned split: odd splits change RFC 1071 padding
+        let mut whole = Checksum::new();
+        whole.add_bytes(&bytes);
+        let mut parts = Checksum::new();
+        parts.add_bytes(&bytes[..at]);
+        parts.add_bytes(&bytes[at..]);
+        prop_assert_eq!(whole.raw(), parts.raw());
     }
 }
